@@ -1,0 +1,47 @@
+"""Ablation (§4.3): meat cuts as actors (A) vs. versioned objects (B).
+
+The paper: "Since each actor keeps a separate object version of the meat
+cut throughout the supply chain, communication to obtain meat cut
+information is obviated.  For frequently accessed entities, this reduction
+in communication may pay off with respect to the overhead of copying
+non-actor objects."
+"""
+
+import pytest
+
+from repro.bench import run_granularity_ablation
+
+
+@pytest.fixture(scope="module")
+def granularity_result():
+    return run_granularity_ablation(cows=60, cuts_per_cow=4, info_requests_per_cut=5)
+
+
+def test_model_b_obviates_communication(granularity_result):
+    rows = {row["model"]: row for row in granularity_result.rows}
+    # Model B answers info requests from local state: far fewer messages.
+    assert rows["model_b_objects"]["messages"] < rows["model_a_actors"]["messages"] * 0.75
+
+
+def test_model_b_creates_far_fewer_activations(granularity_result):
+    rows = {row["model"]: row for row in granularity_result.rows}
+    # Model A activates one actor per cut (+ products); model B holds
+    # object versions inside a handful of stage actors.
+    assert rows["model_b_objects"]["activations"] < rows["model_a_actors"]["activations"] / 3
+
+
+def test_model_b_is_faster_for_read_heavy_chains(granularity_result):
+    rows = {row["model"]: row for row in granularity_result.rows}
+    assert (
+        rows["model_b_objects"]["virtual_seconds"]
+        < rows["model_a_actors"]["virtual_seconds"]
+    )
+
+
+def test_granularity_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_granularity_ablation(cows=20),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.rows) == 2

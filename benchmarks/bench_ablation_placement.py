@@ -1,0 +1,45 @@
+"""Ablation (§5): random vs. prefer-local placement of channel actors.
+
+The paper: "we have had to change the activation placement strategy away
+from random placement for our sensor channels and aggregators.  The
+prefer-local placement ... minimizes the need to perform remote procedure
+calls."
+"""
+
+import pytest
+
+from repro.bench import run_placement_ablation
+
+
+@pytest.fixture(scope="module")
+def placement_result():
+    return run_placement_ablation(sensors=800, servers=4, duration=5.0)
+
+
+def test_prefer_local_minimizes_remote_messages(placement_result):
+    rows = {row["strategy"]: row for row in placement_result.rows}
+    assert rows["prefer_local"]["remote_fraction"] < 0.5
+    assert rows["random"]["remote_fraction"] > 0.7
+    assert (
+        rows["prefer_local"]["remote_fraction"]
+        < rows["random"]["remote_fraction"] / 2
+    )
+
+
+def test_prefer_local_does_not_hurt_latency(placement_result):
+    rows = {row["strategy"]: row for row in placement_result.rows}
+    assert rows["prefer_local"]["insert_p50"] <= rows["random"]["insert_p50"] * 1.1
+
+
+def test_both_strategies_sustain_offered_load(placement_result):
+    for row in placement_result.rows:
+        assert row["throughput"] == pytest.approx(800, rel=0.05)
+
+
+def test_placement_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_placement_ablation(sensors=400, servers=4, duration=3.0),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.rows) == 2

@@ -1,0 +1,46 @@
+"""Extension bench: collar-ingestion scaling for the cattle platform.
+
+The paper benchmarks only the SHM case study; this extension applies the
+same methodology (synchronized one-reading-per-cow-per-second waves, one
+m5.large-class silo) to case study 2 and asserts the same
+linear-then-saturate shape.
+"""
+
+import pytest
+
+from repro.bench import run_cattle_scaling
+
+
+@pytest.fixture(scope="module")
+def cattle_result():
+    return run_cattle_scaling(cow_counts=(1000, 2500, 5000, 6000), duration=5.0)
+
+
+def test_cattle_linear_below_saturation(cattle_result):
+    rows = {row["cows"]: row for row in cattle_result.rows}
+    assert rows[1000]["throughput"] == pytest.approx(1000, rel=0.02)
+    assert rows[2500]["throughput"] == pytest.approx(2500, rel=0.02)
+
+
+def test_cattle_saturates_at_predicted_point(cattle_result):
+    predicted = cattle_result.notes["predicted_saturation_cows"]
+    rows = {row["cows"]: row for row in cattle_result.rows}
+    # At the predicted saturation the silo is fully busy...
+    assert rows[5000]["utilization"] > 0.97
+    # ...and beyond it throughput plateaus instead of tracking offered load.
+    assert rows[6000]["throughput"] == pytest.approx(predicted, rel=0.10)
+    assert rows[6000]["throughput"] < 6000 * 0.95
+
+
+def test_cattle_latency_grows_with_load(cattle_result):
+    rows = {row["cows"]: row for row in cattle_result.rows}
+    assert rows[1000]["p99_ms"] < rows[5000]["p99_ms"]
+
+
+def test_cattle_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_cattle_scaling(cow_counts=(2000,), duration=3.0),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows[0]["throughput"] == pytest.approx(2000, rel=0.05)

@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the simulation harness itself (wall-clock).
+
+These measure the *harness*, not the simulated platform: how many simulated
+actor messages per wall-clock second the kernel sustains.  Useful for
+keeping the figure regenerations tractable as the library evolves.
+"""
+
+import pytest
+
+from repro.kernel import Scheduler
+from repro.net import ConstantLatency, Network
+from repro.runtime import Actor, AodbRuntime, RuntimeConfig
+
+
+class PingActor(Actor):
+    async def ping(self):
+        return 1
+
+
+def build_runtime():
+    sched = Scheduler()
+    config = RuntimeConfig(
+        default_method_cost=0.0, activation_cost=0.0, copy_messages=False
+    )
+    runtime = AodbRuntime(
+        sched, config=config, network=Network(sched, lan=ConstantLatency(0.0))
+    )
+    runtime.add_silo("s1", cores=4)
+    runtime.register_actor(PingActor)
+    return sched, runtime
+
+
+def test_bench_message_round_trips(benchmark):
+    """Ask-reply round trips through one activation."""
+
+    def run_messages():
+        sched, runtime = build_runtime()
+
+        async def main():
+            ref = runtime.ref("PingActor", "a")
+            for _ in range(2000):
+                await ref.ping()
+
+        sched.run_until_complete(main())
+        return runtime.stats.replies
+
+    replies = benchmark(run_messages)
+    assert replies == 2000
+
+
+def test_bench_concurrent_fanout(benchmark):
+    """A 1000-actor fan-out gathered in one wave."""
+
+    def run_fanout():
+        sched, runtime = build_runtime()
+
+        async def main():
+            futures = [
+                runtime.ref("PingActor", f"a{i}").ask("ping") for i in range(1000)
+            ]
+            return await sched.gather(futures)
+
+        return len(sched.run_until_complete(main()))
+
+    count = benchmark(run_fanout)
+    assert count == 1000
+
+
+def test_bench_scheduler_events(benchmark):
+    """Raw kernel event throughput (sleep chains)."""
+
+    def run_events():
+        sched = Scheduler()
+
+        async def sleeper():
+            for _ in range(1000):
+                await sched.sleep(0.001)
+
+        tasks = [sched.spawn(sleeper()) for _ in range(10)]
+
+        async def main():
+            await sched.gather(tasks)
+
+        sched.run_until_complete(main())
+        return sched.events_processed
+
+    events = benchmark(run_events)
+    assert events >= 10_000

@@ -1,0 +1,124 @@
+"""Heterogeneous ingestion and historical analytics.
+
+Exercises the two outer tiers around the actor database:
+
+1. three device dialects (JSON gateway, CSV logger, packed binary radio
+   frame) flow through the ingestion gateway's bounded queue into the same
+   sensor actors;
+2. a burst above actor-tier throughput is absorbed by the queue
+   (back-pressure, no drops);
+3. windows evicted from actor memory land in the archive log, which the
+   star-schema warehouse loads for historical group-by analytics — the
+   third component of the paper's architecture.
+
+Run: ``python examples/ingest_and_warehouse.py``
+"""
+
+from repro.aodb import AodbDatabase
+from repro.ingest import BinaryFrameAdapter, IngestGateway, default_registry
+from repro.kernel import Scheduler
+from repro.net import ConstantLatency, Network
+from repro.runtime import AodbRuntime, RuntimeConfig
+from repro.shm import ShmPlatform, channel_id_for, sensor_id_for
+from repro.warehouse import StarSchema
+
+
+async def main(scheduler, platform):
+    report = await platform.provision(total_sensors=6)
+    sensor_ids = report.sensor_ids
+    all_channels = [
+        channel_id_for(sensor_id, channel)
+        for sensor_id in sensor_ids
+        for channel in (0, 1)
+    ]
+    registry = default_registry(binary_channel_table=all_channels)
+    gateway = IngestGateway(platform, registry, queue_capacity=256, dispatchers=4)
+    gateway.start()
+
+    # -- one upload per dialect ------------------------------------------------
+    s0, s1, s2 = sensor_ids[0], sensor_ids[1], sensor_ids[2]
+    gateway.submit(
+        s0,
+        "json",
+        {
+            "channels": {
+                channel_id_for(s0, 0): [{"t": i * 0.1, "v": 20.0 + i} for i in range(10)],
+                channel_id_for(s0, 1): [{"t": i * 0.1, "v": 30.0 + i} for i in range(10)],
+            }
+        },
+    )
+    gateway.submit(
+        s1,
+        "csv",
+        "\n".join(f"{channel_id_for(s1, 0)},{i * 0.1},{40 + i}" for i in range(10)),
+    )
+    frame = BinaryFrameAdapter.encode(
+        all_channels,
+        {channel_id_for(s2, 0): [(i * 0.1, 50.0 + i) for i in range(10)]},
+    )
+    gateway.submit(s2, "binary", frame)
+    await scheduler.sleep(1)
+    print(f"three dialects ingested: {gateway.stats.formats_seen}, "
+          f"dispatched={gateway.stats.dispatched}")
+
+    # -- a burst absorbed by the queue ---------------------------------------------
+    peak = 0
+    for wave in range(50):
+        # Waves arrive back-to-back; yielding lets dispatchers interleave,
+        # exactly like a gateway thread accepting while workers drain.
+        await scheduler.sleep(0.01)
+        peak = max(peak, gateway.queue_depth)
+        for sensor_id in sensor_ids:
+            gateway.submit(
+                sensor_id,
+                "json",
+                {
+                    "channels": {
+                        channel_id_for(sensor_id, c): [
+                            {"t": 10.0 + wave + i * 0.1, "v": float(wave + i)}
+                            for i in range(10)
+                        ]
+                        for c in (0, 1)
+                    }
+                },
+            )
+    peak = max(peak, gateway.queue_depth)
+    await gateway.stop(drain=True)
+    print(f"burst of 300 uploads: peak queue depth {peak}, "
+          f"accepted={gateway.stats.accepted}, dropped={gateway.stats.dropped}")
+
+    # -- warehouse export ---------------------------------------------------------
+    # Force windows to storage boundaries by draining through small windows:
+    # the platform's archive already holds whatever was evicted; export the
+    # *live* windows too via silo shutdown, then load history.
+    schema = StarSchema(time_grain_seconds=10.0)
+    loaded = schema.load_archive(platform.archive)
+    # Also load what is still in actor windows, through the raw query API.
+    for channel_id in all_channels:
+        for timestamp, value in await platform.raw_range(channel_id, 0.0, 1e9):
+            schema.load_fact(channel_id, timestamp, value)
+    print(f"warehouse loaded {schema.fact_count} facts "
+          f"({loaded} from archive) across {schema.channel_count} channels")
+
+    per_org = schema.aggregate(group_by=("org_id",))
+    for row in per_org:
+        print(f"  org {row.group[0]}: n={row.count} mean={row.mean:.1f} "
+              f"min={row.minimum:.1f} max={row.maximum:.1f}")
+    per_sensor = schema.aggregate(group_by=("sensor_id",))
+    busiest = max(per_sensor, key=lambda row: row.count)
+    print(f"busiest sensor: {busiest.group[0]} with {busiest.count} readings")
+    series = schema.time_series(channel_id_for(s0, 0))
+    print(f"10s-bucket series for {channel_id_for(s0, 0)}: "
+          f"{[(bucket, round(mean, 1)) for bucket, mean in series[:5]]}")
+
+
+if __name__ == "__main__":
+    scheduler = Scheduler()
+    config = RuntimeConfig(default_method_cost=0.0002, activation_cost=0.0002)
+    runtime = AodbRuntime(
+        scheduler, config=config, network=Network(scheduler, lan=ConstantLatency(0.0005))
+    )
+    runtime.add_silo("silo-1", cores=2, instance_type="m5.large")
+    platform = ShmPlatform(AodbDatabase(runtime), window_capacity=200)
+    scheduler.run_until_complete(main(scheduler, platform))
+    print("ingest & warehouse example complete")

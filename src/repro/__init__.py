@@ -1,0 +1,71 @@
+"""repro — actor-oriented databases for IoT data platforms.
+
+A from-scratch Python reproduction of *"Modeling and Building IoT Data
+Platforms with Actor-Oriented Databases"* (Wang et al., EDBT 2019):
+
+- :mod:`repro.kernel` — deterministic discrete-event scheduling kernel;
+- :mod:`repro.net` / :mod:`repro.storage` — simulated network and cloud
+  storage substrates (DynamoDB-like provisioned KV store, RDS-like system
+  store, archive log);
+- :mod:`repro.runtime` — an Orleans-style virtual-actor runtime (the AODB
+  core): activation on demand, turn-based concurrency, placement
+  strategies, durable state, timers & reminders, silo lifecycle;
+- :mod:`repro.aodb` — database features over the runtime: secondary
+  indexes, declarative queries, multi-actor transactions, saga workflows;
+- :mod:`repro.shm` — case study 1: the structural health monitoring data
+  platform (the paper's benchmarked prototype);
+- :mod:`repro.cattle` — case study 2: beef cattle tracking & tracing, in
+  both the actor-heavy (Fig. 3) and versioned-object (Fig. 5) models;
+- :mod:`repro.bench` — the benchmarking tool and experiment drivers that
+  regenerate every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import AodbDatabase, AodbRuntime, Actor, Scheduler
+
+    class Greeter(Actor):
+        async def greet(self, name):
+            return f"hello {name}"
+
+    scheduler = Scheduler()
+    runtime = AodbRuntime(scheduler)
+    runtime.add_silo("silo-1", cores=2)
+    db = AodbDatabase(runtime)
+    db.register_actor(Greeter)
+
+    async def main():
+        return await db.ref("Greeter", "g").greet("world")
+
+    print(scheduler.run_until_complete(main()))
+"""
+
+from .aodb import AodbDatabase, Transaction, Workflow
+from .errors import ReproError
+from .kernel import Scheduler
+from .runtime import (
+    Actor,
+    ActorKey,
+    ActorRef,
+    AodbRuntime,
+    RuntimeConfig,
+    WritePolicy,
+    actor_method,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Actor",
+    "ActorKey",
+    "ActorRef",
+    "AodbDatabase",
+    "AodbRuntime",
+    "ReproError",
+    "RuntimeConfig",
+    "Scheduler",
+    "Transaction",
+    "Workflow",
+    "WritePolicy",
+    "actor_method",
+    "__version__",
+]

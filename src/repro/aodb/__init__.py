@@ -1,0 +1,30 @@
+"""Database features over the actor runtime: indexes, queries, transactions,
+and saga workflows — the "actor-oriented database" layer."""
+
+from .constraints import (
+    AuditReport,
+    ConstraintViolation,
+    RelationshipConstraint,
+    UniquenessConstraint,
+)
+from .database import AodbDatabase
+from .index import IndexRegistry
+from .query import Query, QueryResult
+from .transactions import LockManager, Transaction
+from .workflow import Workflow, WorkflowOutcome, WorkflowStep
+
+__all__ = [
+    "AodbDatabase",
+    "AuditReport",
+    "ConstraintViolation",
+    "IndexRegistry",
+    "RelationshipConstraint",
+    "UniquenessConstraint",
+    "LockManager",
+    "Query",
+    "QueryResult",
+    "Transaction",
+    "Workflow",
+    "WorkflowOutcome",
+    "WorkflowStep",
+]

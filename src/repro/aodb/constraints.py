@@ -1,0 +1,254 @@
+"""Declarative cross-actor constraints — the paper's future work, built.
+
+The paper closes with: "As future work, we plan to ... devise approaches to
+enforce constraints in AODBs."  Its §4.4 analysis identifies the mechanism
+options (transaction / single-actor encapsulation / workflow); this module
+adds the *declaration* layer on top, so applications state constraints once
+and the database enforces them:
+
+- :class:`RelationshipConstraint` — a bidirectional one-to-many between an
+  owner actor type and a member actor type (e.g. Farmer.herd ↔ Cow.owner).
+  ``transfer`` moves a member between owners through the chosen enforcement
+  mode; ``verify`` audits the whole relationship against the indexes.
+- :class:`UniquenessConstraint` — at most one actor of a type may hold a
+  given value of an indexed attribute.
+
+Enforcement modes mirror §4.4: ``"transaction"`` (atomic, isolated) and
+``"workflow"`` (compensating saga, eventually consistent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..errors import AodbError, TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import AodbDatabase
+
+
+class ConstraintViolation(AodbError):
+    """A declared constraint does not hold (or an operation would break it)."""
+
+
+@dataclass
+class AuditReport:
+    """Outcome of verifying a constraint across the database."""
+
+    constraint: str
+    checked: int
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+
+class RelationshipConstraint:
+    """A one-to-many relationship maintained across two actor types.
+
+    Declaration names the four methods involved, so the constraint works
+    for any actor pair following the add/remove/set/get protocol::
+
+        herd = RelationshipConstraint(
+            db,
+            name="ownership",
+            owner_type="Farmer", member_type="Cow",
+            add_method="add_cow", remove_method="remove_cow",
+            set_owner_method="set_owner", owner_attribute="owner_id",
+            mode="transaction",
+        )
+        await herd.link("farm-1", "cow-7")
+        await herd.transfer("cow-7", "farm-1", "farm-2")
+    """
+
+    def __init__(
+        self,
+        database: "AodbDatabase",
+        name: str,
+        owner_type: str,
+        member_type: str,
+        add_method: str,
+        remove_method: str,
+        set_owner_method: str,
+        owner_attribute: str,
+        mode: str = "transaction",
+    ) -> None:
+        if mode not in ("transaction", "workflow"):
+            raise ValueError("mode must be 'transaction' or 'workflow'")
+        if not database.indexes.has_index(member_type, owner_attribute):
+            raise ConstraintViolation(
+                f"{member_type}.{owner_attribute} must be indexed to declare "
+                f"relationship {name!r}"
+            )
+        self.db = database
+        self.name = name
+        self.owner_type = owner_type
+        self.member_type = member_type
+        self.add_method = add_method
+        self.remove_method = remove_method
+        self.set_owner_method = set_owner_method
+        self.owner_attribute = owner_attribute
+        self.mode = mode
+
+    # -- operations -----------------------------------------------------------
+
+    async def link(self, owner_id: str, member_id: str, *args: Any) -> None:
+        """Establish initial ownership (both sides)."""
+        owner = self.db.ref(self.owner_type, owner_id)
+        member = self.db.ref(self.member_type, member_id)
+        await member.ask(self.set_owner_method, owner_id, *args)
+        await owner.ask(self.add_method, member_id)
+
+    async def transfer(
+        self, member_id: str, from_owner: str, to_owner: str, *args: Any
+    ) -> bool:
+        """Move a member between owners under the enforcement mode.
+
+        Returns True when the transfer applied; False when it aborted (and
+        was rolled back / compensated).
+        """
+        if self.mode == "transaction":
+            return await self._transfer_transactional(
+                member_id, from_owner, to_owner, *args
+            )
+        return await self._transfer_workflow(member_id, from_owner, to_owner, *args)
+
+    async def _transfer_transactional(
+        self, member_id: str, from_owner: str, to_owner: str, *args: Any
+    ) -> bool:
+        try:
+            async with self.db.transaction() as txn:
+                await txn.call(self.owner_type, from_owner, self.remove_method, member_id)
+                await txn.call(self.owner_type, to_owner, self.add_method, member_id)
+                await txn.call(
+                    self.member_type, member_id, self.set_owner_method, to_owner, *args
+                )
+            return True
+        except (TransactionError, Exception):  # noqa: BLE001 - abort => False
+            return False
+
+    async def _transfer_workflow(
+        self, member_id: str, from_owner: str, to_owner: str, *args: Any
+    ) -> bool:
+        seller = self.db.ref(self.owner_type, from_owner)
+        buyer = self.db.ref(self.owner_type, to_owner)
+        member = self.db.ref(self.member_type, member_id)
+        workflow = (
+            self.db.workflow(f"{self.name}:transfer:{member_id}")
+            .step(
+                "remove-from-owner",
+                lambda: seller.ask(self.remove_method, member_id),
+                lambda: seller.ask(self.add_method, member_id),
+            )
+            .step(
+                "add-to-new-owner",
+                lambda: buyer.ask(self.add_method, member_id),
+                lambda: buyer.ask(self.remove_method, member_id),
+            )
+            .step(
+                "update-member",
+                lambda: member.ask(self.set_owner_method, to_owner, *args),
+            )
+        )
+        outcome = await workflow.run()
+        return outcome.succeeded
+
+    # -- auditing ---------------------------------------------------------------
+
+    async def verify(self, owner_list_method: str) -> AuditReport:
+        """Audit every member against its owner's list.
+
+        ``owner_list_method`` names the owner method returning member ids
+        (e.g. ``"herd"``).  Uses the owner index as ground truth for member
+        → owner, then checks the inverse direction.
+        """
+        report = AuditReport(constraint=self.name, checked=0)
+        owner_ids = self.db.indexes.extent(self.owner_type)
+        listed: dict[str, str] = {}
+        for owner_id in owner_ids:
+            members = await self.db.ref(self.owner_type, owner_id).ask(
+                owner_list_method
+            )
+            for member_id in members:
+                if member_id in listed:
+                    report.violations.append(
+                        f"{member_id} listed by both {listed[member_id]} "
+                        f"and {owner_id}"
+                    )
+                listed[member_id] = owner_id
+        for member_id in self.db.indexes.extent(self.member_type):
+            report.checked += 1
+            owners = [
+                owner_id
+                for owner_id in owner_ids
+                if member_id
+                in self.db.indexes.lookup(
+                    self.member_type, self.owner_attribute, owner_id
+                )
+            ]
+            owner = owners[0] if owners else None
+            if owner is None:
+                # Member without an owner in scope: fine unless listed.
+                if member_id in listed:
+                    report.violations.append(
+                        f"{member_id} listed by {listed[member_id]} but has no owner"
+                    )
+                continue
+            if listed.get(member_id) != owner:
+                report.violations.append(
+                    f"{member_id}: owner index says {owner}, "
+                    f"lists say {listed.get(member_id)}"
+                )
+        return report
+
+
+class UniquenessConstraint:
+    """At most one actor of a type per value of an indexed attribute."""
+
+    def __init__(
+        self, database: "AodbDatabase", type_name: str, attribute: str
+    ) -> None:
+        if not database.indexes.has_index(type_name, attribute):
+            raise ConstraintViolation(
+                f"{type_name}.{attribute} must be indexed for uniqueness"
+            )
+        self.db = database
+        self.type_name = type_name
+        self.attribute = attribute
+
+    def check_free(self, value: object) -> None:
+        """Raise :class:`ConstraintViolation` if ``value`` is taken."""
+        holders = self.db.indexes.lookup(self.type_name, self.attribute, value)
+        if holders:
+            raise ConstraintViolation(
+                f"{self.type_name}.{self.attribute}={value!r} already held "
+                f"by {holders[0]}"
+            )
+
+    async def claim(
+        self, actor_id: str, value: object, setter_method: str
+    ) -> None:
+        """Atomically-enough claim: check, then set through the actor.
+
+        The eager index makes check-then-set safe within one scheduler
+        turn; concurrent claims of the same value serialize through the
+        index update and the loser's later check fails in ``verify``.
+        """
+        self.check_free(value)
+        await self.db.ref(self.type_name, actor_id).ask(setter_method, value)
+
+    def verify(self) -> AuditReport:
+        """Audit: every indexed value maps to at most one actor."""
+        report = AuditReport(
+            constraint=f"unique:{self.type_name}.{self.attribute}", checked=0
+        )
+        index = self.db.indexes._indexes.get((self.type_name, self.attribute), {})
+        for value, holders in index.items():
+            report.checked += 1
+            if len(holders) > 1:
+                report.violations.append(
+                    f"value {value!r} held by {sorted(holders)}"
+                )
+        return report

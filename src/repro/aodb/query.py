@@ -1,0 +1,130 @@
+"""A small declarative query layer over actors.
+
+The paper notes that "declarative queries cannot access data across actors,
+and thus needed to be decomposed by the developer" — this module is exactly
+that decomposition, packaged once: restrict a set of actors of one type via
+indexes (or the extent), then fan out a method call to the survivors and
+collect results, optionally filtering and projecting.
+
+Example::
+
+    rows = await (
+        db.query("Cow")
+        .where(owner_id="farmer-1")
+        .call("current_location")
+        .run()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..errors import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import AodbDatabase
+
+
+class QueryResult:
+    """One row per actor: its id plus the value its method returned."""
+
+    __slots__ = ("actor_id", "value")
+
+    def __init__(self, actor_id: str, value: Any) -> None:
+        self.actor_id = actor_id
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"QueryResult({self.actor_id!r}, {self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, QueryResult)
+            and other.actor_id == self.actor_id
+            and other.value == self.value
+        )
+
+
+class Query:
+    """A fluent, immutable-ish query builder (each step returns self)."""
+
+    def __init__(self, database: "AodbDatabase", type_name: str) -> None:
+        self._db = database
+        self._type_name = type_name
+        self._criteria: dict[str, object] = {}
+        self._method: str | None = None
+        self._args: tuple = ()
+        self._kwargs: dict[str, Any] = {}
+        self._predicate: Callable[[Any], bool] | None = None
+        self._limit: int | None = None
+
+    def where(self, **criteria: object) -> "Query":
+        """Restrict to actors whose indexed attributes equal these values."""
+        for attr in criteria:
+            if not self._db.indexes.has_index(self._type_name, attr):
+                raise QueryError(
+                    f"{self._type_name}.{attr} is not indexed; "
+                    "declare an index or drop the criterion"
+                )
+        self._criteria.update(criteria)
+        return self
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> "Query":
+        """Fan out ``method(*args, **kwargs)`` to every matching actor."""
+        self._method = method
+        self._args = args
+        self._kwargs = kwargs
+        return self
+
+    def filter_values(self, predicate: Callable[[Any], bool]) -> "Query":
+        """Keep only rows whose returned value satisfies ``predicate``."""
+        self._predicate = predicate
+        return self
+
+    def limit(self, count: int) -> "Query":
+        """Truncate the *candidate set* (by sorted actor id) before fan-out."""
+        if count < 0:
+            raise QueryError("limit must be >= 0")
+        self._limit = count
+        return self
+
+    def candidate_ids(self) -> list[str]:
+        """Resolve the candidate actor ids without fanning out."""
+        if self._criteria:
+            ids = self._db.indexes.lookup_many(self._type_name, self._criteria)
+        else:
+            ids = self._db.indexes.extent(self._type_name)
+        if self._limit is not None:
+            ids = ids[: self._limit]
+        return ids
+
+    async def run(self) -> list[QueryResult]:
+        """Execute: resolve candidates, fan out, gather, filter."""
+        if self._method is None:
+            raise QueryError("query has no .call(method); nothing to execute")
+        ids = self.candidate_ids()
+        runtime = self._db.runtime
+        futures = [
+            runtime.ref(self._type_name, actor_id).ask(
+                self._method, *self._args, **self._kwargs
+            )
+            for actor_id in ids
+        ]
+        values = await runtime.scheduler.gather(futures)
+        rows = [QueryResult(actor_id, value) for actor_id, value in zip(ids, values)]
+        if self._predicate is not None:
+            rows = [row for row in rows if self._predicate(row.value)]
+        return rows
+
+    async def count(self) -> int:
+        """Number of candidate actors (no fan-out unless filtering)."""
+        if self._predicate is None:
+            return len(self.candidate_ids())
+        return len(await self.run())
+
+    async def ids(self) -> list[str]:
+        """The candidate actor ids (post-filter if a predicate is set)."""
+        if self._predicate is None:
+            return self.candidate_ids()
+        return [row.actor_id for row in await self.run()]

@@ -1,0 +1,166 @@
+"""Multi-actor transactions: strict two-phase locking with rollback.
+
+The paper's fourth modeling principle (§4.4): *"Employ transactions to
+update data across actors consistently; however, in the absence of
+transactions, keep data related to a constraint in a single actor or design
+a multi-actor workflow for updates."*  This module provides the first
+option; :mod:`repro.aodb.workflow` provides the third.
+
+Semantics (mirroring Orleans' transaction work cited by the paper):
+
+- A transaction invokes ordinary actor methods through
+  :meth:`Transaction.call`.
+- The first touch of each participant takes an **exclusive lock** and
+  snapshots the actor's transactional state (its ``self.state`` document).
+- Locks are held until commit/abort (strict 2PL).  Lock waits time out, and
+  a timeout aborts the transaction (deadlock resolution by timeout, the
+  same pragmatic policy most lock managers ship).
+- Abort restores every touched participant's snapshot — the in-actor
+  equivalent of undo logging.
+
+Isolation scope: transactions isolate against *other transactions*.  Raw
+sends that bypass the coordinator are not blocked — exactly as in Orleans,
+where only methods marked transactional join a transaction.  Transactional
+actors should route all writes to transactional state through transactions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any
+
+from ..errors import TransactionAbortedError, TransactionConflictError
+from ..errors import TimeoutError as KernelTimeoutError
+from ..kernel.sync import Lock
+from ..runtime.key import ActorKey
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import AodbDatabase
+
+
+class LockManager:
+    """Per-actor-key exclusive locks with FIFO fairness."""
+
+    def __init__(self, database: "AodbDatabase") -> None:
+        self._db = database
+        self._locks: dict[ActorKey, Lock] = {}
+
+    def lock_for(self, key: ActorKey) -> Lock:
+        lock = self._locks.get(key)
+        if lock is None:
+            lock = Lock(self._db.runtime.scheduler)
+            self._locks[key] = lock
+        return lock
+
+    def held(self, key: ActorKey) -> bool:
+        """Whether some transaction currently holds ``key``."""
+        lock = self._locks.get(key)
+        return lock is not None and lock.locked
+
+
+class Transaction:
+    """One unit of multi-actor atomic work.
+
+    Use as an async context manager; exiting normally commits, exiting on an
+    exception aborts (rolling back every participant)::
+
+        async with db.transaction() as txn:
+            await txn.call("Farmer", "f1", "remove_cow", cow_id)
+            await txn.call("Farmer", "f2", "add_cow", cow_id)
+            await txn.call("Cow", cow_id, "set_owner", "f2")
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, database: "AodbDatabase", lock_timeout: float) -> None:
+        self._db = database
+        self._lock_timeout = lock_timeout
+        self.txn_id = next(Transaction._ids)
+        self._held: list[ActorKey] = []
+        self._snapshots: dict[ActorKey, Any] = {}
+        self.state = "active"  # active | committed | aborted
+
+    # -- participant access -------------------------------------------------------
+
+    async def call(
+        self, type_name: str, actor_id: str, method: str, *args: Any, **kwargs: Any
+    ) -> Any:
+        """Invoke a method on a participant under this transaction."""
+        self._check_active()
+        key = ActorKey(type_name, actor_id)
+        if key not in self._snapshots:
+            await self._enlist(key)
+        ref = self._db.runtime.ref(type_name, actor_id)
+        try:
+            return await ref.ask(method, *args, **kwargs)
+        except Exception:
+            await self.abort()
+            raise
+
+    async def _enlist(self, key: ActorKey) -> None:
+        lock = self._db.locks.lock_for(key)
+        scheduler = self._db.runtime.scheduler
+        try:
+            await scheduler.timeout(lock.acquire(), self._lock_timeout)
+        except KernelTimeoutError:
+            await self.abort()
+            raise TransactionConflictError(
+                f"txn {self.txn_id}: timed out locking {key} "
+                f"after {self._lock_timeout}s; aborted"
+            ) from None
+        self._held.append(key)
+        snapshot = await self._db.runtime.send(
+            key, "__txn_snapshot__", (), {}, caller_endpoint="client"
+        )
+        self._snapshots[key] = snapshot
+
+    # -- outcome ----------------------------------------------------------------------
+
+    async def commit(self) -> None:
+        """Make all participant updates durable-visible and release locks."""
+        self._check_active()
+        self.state = "committed"
+        self._db.stats_commits += 1
+        self._release_all()
+
+    async def abort(self) -> None:
+        """Roll every participant back to its snapshot and release locks."""
+        if self.state == "aborted":
+            return
+        if self.state == "committed":
+            raise TransactionAbortedError("cannot abort a committed transaction")
+        self.state = "aborted"
+        self._db.stats_aborts += 1
+        for key in reversed(self._held):
+            await self._db.runtime.send(
+                key,
+                "__txn_restore__",
+                (self._snapshots[key],),
+                {},
+                caller_endpoint="client",
+            )
+        self._release_all()
+
+    def _release_all(self) -> None:
+        for key in self._held:
+            self._db.locks.lock_for(key).release()
+        self._held.clear()
+
+    def _check_active(self) -> None:
+        if self.state != "active":
+            raise TransactionAbortedError(
+                f"txn {self.txn_id} is {self.state}, not active"
+            )
+
+    # -- context manager ------------------------------------------------------------
+
+    async def __aenter__(self) -> "Transaction":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            await self.commit()
+            return False
+        if self.state == "active":
+            await self.abort()
+        return False  # propagate the original exception

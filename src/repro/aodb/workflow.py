@@ -1,0 +1,97 @@
+"""Saga-style multi-actor update workflows.
+
+The paper's §4.4 offers workflows as the transactions-free alternative for
+cross-actor constraints: "design a multi-actor workflow for updates" that
+"ensures that all actors in a relationship change are eventually updated to
+a consistent state".  A :class:`Workflow` is an ordered list of steps, each
+with a forward action and a compensation; if step *k* fails, compensations
+for steps *k-1 … 0* run in reverse order (the classic saga pattern).
+
+Unlike a transaction, a workflow provides no isolation — intermediate
+states are visible — but it never holds locks and always terminates in
+either the fully-applied or fully-compensated state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+
+ActionFn = Callable[[], Awaitable[Any]]
+CompensationFn = Callable[[], Awaitable[Any]]
+
+
+@dataclass
+class WorkflowStep:
+    """One forward action and its compensation."""
+
+    name: str
+    action: ActionFn
+    compensation: CompensationFn | None = None
+
+
+@dataclass
+class WorkflowOutcome:
+    """What happened: which steps applied, whether we had to compensate."""
+
+    succeeded: bool
+    applied_steps: list[str] = field(default_factory=list)
+    compensated_steps: list[str] = field(default_factory=list)
+    failed_step: str | None = None
+    error: BaseException | None = None
+    results: dict[str, Any] = field(default_factory=dict)
+
+
+class Workflow:
+    """An ordered, compensable multi-actor update."""
+
+    def __init__(self, name: str = "workflow") -> None:
+        self.name = name
+        self._steps: list[WorkflowStep] = []
+
+    def step(
+        self,
+        name: str,
+        action: ActionFn,
+        compensation: CompensationFn | None = None,
+    ) -> "Workflow":
+        """Append a step; returns self for chaining."""
+        self._steps.append(WorkflowStep(name, action, compensation))
+        return self
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    async def run(self) -> WorkflowOutcome:
+        """Execute all steps; on failure, compensate applied steps in reverse.
+
+        A failing *compensation* is re-raised (there is no safe automatic
+        recovery from a broken undo; the operator must intervene), after
+        the remaining compensations were still attempted.
+        """
+        outcome = WorkflowOutcome(succeeded=True)
+        applied: list[WorkflowStep] = []
+        for step in self._steps:
+            try:
+                outcome.results[step.name] = await step.action()
+            except BaseException as exc:  # noqa: BLE001 - drives compensation
+                outcome.succeeded = False
+                outcome.failed_step = step.name
+                outcome.error = exc
+                break
+            applied.append(step)
+            outcome.applied_steps.append(step.name)
+        if outcome.succeeded:
+            return outcome
+        compensation_errors: list[BaseException] = []
+        for step in reversed(applied):
+            if step.compensation is None:
+                continue
+            try:
+                await step.compensation()
+                outcome.compensated_steps.append(step.name)
+            except BaseException as exc:  # noqa: BLE001 - collected below
+                compensation_errors.append(exc)
+        if compensation_errors:
+            raise compensation_errors[0]
+        return outcome

@@ -1,0 +1,72 @@
+"""Benchmark harness: instances, calibration, workload, metrics, experiments."""
+
+from .calibration import (
+    average_insert_cost,
+    calibrated_config,
+    saturation_request_rate,
+    shm_method_costs,
+)
+from .experiments import (
+    AblationResult,
+    FigPoint,
+    FigResult,
+    run_cattle_scaling,
+    run_constraints_ablation,
+    run_durability_ablation,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_granularity_ablation,
+    run_placement_ablation,
+)
+from .instances import INSTANCE_TYPES, M5_2XLARGE, M5_LARGE, M5_XLARGE, InstanceType, instance
+from .metrics import LatencyRecorder, Record, Summary, WindowStat, percentile
+from .report import format_result
+from .workload import (
+    Deployment,
+    LoadConfig,
+    RunResult,
+    build_deployment,
+    execute,
+    provision,
+    run_load,
+)
+
+__all__ = [
+    "AblationResult",
+    "Deployment",
+    "FigPoint",
+    "FigResult",
+    "INSTANCE_TYPES",
+    "InstanceType",
+    "LatencyRecorder",
+    "LoadConfig",
+    "M5_2XLARGE",
+    "M5_LARGE",
+    "M5_XLARGE",
+    "Record",
+    "RunResult",
+    "Summary",
+    "WindowStat",
+    "average_insert_cost",
+    "build_deployment",
+    "calibrated_config",
+    "execute",
+    "format_result",
+    "instance",
+    "percentile",
+    "provision",
+    "run_cattle_scaling",
+    "run_constraints_ablation",
+    "run_durability_ablation",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_granularity_ablation",
+    "run_load",
+    "run_placement_ablation",
+    "saturation_request_rate",
+    "shm_method_costs",
+]

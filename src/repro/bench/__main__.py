@@ -1,0 +1,7 @@
+"""``python -m repro.bench`` — run experiment drivers from the shell."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,74 @@
+"""Command-line entry point: regenerate any figure or ablation.
+
+Usage::
+
+    python -m repro.bench fig6            # one experiment
+    python -m repro.bench all             # everything (several minutes)
+    python -m repro.bench fig7 --quick    # scaled-down sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import experiments
+from .report import format_result
+
+QUICK = {
+    "fig6": dict(sensor_counts=(600, 1200, 1800, 2400), duration=6.0),
+    "fig7": dict(scale_factors=(1, 2, 3), duration=4.0),
+    "fig8": dict(sensor_counts=(500, 2000), duration=6.0),
+    "fig9": dict(sensor_counts=(500, 2000), duration=6.0),
+    "placement": dict(sensors=400, duration=4.0),
+    "durability": dict(sensors=30, duration=4.0),
+    "granularity": dict(cows=30),
+    "constraints": dict(transfers=60),
+    "cattle": dict(cow_counts=(1000, 5000), duration=4.0),
+}
+
+RUNNERS = {
+    "fig6": experiments.run_fig6,
+    "fig7": experiments.run_fig7,
+    "fig8": experiments.run_fig8,
+    "fig9": experiments.run_fig9,
+    "placement": experiments.run_placement_ablation,
+    "durability": experiments.run_durability_ablation,
+    "granularity": experiments.run_granularity_ablation,
+    "constraints": experiments.run_constraints_ablation,
+    "cattle": experiments.run_cattle_scaling,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's figures on the simulated cluster.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(RUNNERS) + ["all"],
+        help="which figure/ablation to run",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="scaled-down parameters (seconds instead of minutes)",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner = RUNNERS[name]
+        kwargs = QUICK.get(name, {}) if args.quick else {}
+        started = time.time()
+        result = runner(**kwargs)
+        elapsed = time.time() - started
+        print(format_result(result))
+        print(f"  [wall-clock: {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

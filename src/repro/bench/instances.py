@@ -1,0 +1,56 @@
+"""EC2 instance models used by the paper's evaluation.
+
+The paper deploys Orleans silos on m5 instances and scales load by the
+instances' EC2 Compute Unit (ECU) ratio: "the difference in computing power
+between the m5.large and m5.xlarge instances ... is estimated by their EC2
+Compute Unit (ECU) values to be of a factor 1.5x".  We model an instance as
+(cores, per-core speed); total capacity = cores x speed, with the m5.xlarge
+calibrated to exactly 1.5x the m5.large as the paper assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A simulated server model."""
+
+    name: str
+    cores: int
+    speed: float  # per-core speed factor relative to the m5.large core
+
+    @property
+    def capacity(self) -> float:
+        """Total compute capacity in core-seconds per second."""
+        return self.cores * self.speed
+
+
+# The m5.large is the calibration reference: 2 vCPUs at speed 1.0.
+M5_LARGE = InstanceType("m5.large", cores=2, speed=1.0)
+
+# 4 vCPUs, scaled so total capacity is 1.5x the m5.large (paper's ECU ratio).
+M5_XLARGE = InstanceType("m5.xlarge", cores=4, speed=0.75)
+
+# The benchmarking client's machine (not CPU-modeled in experiments, but
+# available for completeness).
+M5_2XLARGE = InstanceType("m5.2xlarge", cores=8, speed=0.75)
+
+# The RDS system-store instance class used for Orleans system storage.
+DB_T2_SMALL = InstanceType("db.t2.small", cores=1, speed=0.5)
+
+INSTANCE_TYPES = {
+    instance.name: instance
+    for instance in (M5_LARGE, M5_XLARGE, M5_2XLARGE, DB_T2_SMALL)
+}
+
+
+def instance(name: str) -> InstanceType:
+    """Look up an instance type by name."""
+    try:
+        return INSTANCE_TYPES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown instance type {name!r}; known: {sorted(INSTANCE_TYPES)}"
+        ) from None

@@ -1,0 +1,92 @@
+"""Render experiment results as the tables recorded in EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from .experiments import AblationResult, FigResult
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+    separator = "  ".join("-" * width for width in widths)
+    return "\n".join([line(headers), separator] + [line(row) for row in rows])
+
+
+def _ms(value: float | None) -> str:
+    return "-" if value is None else f"{value * 1000:.0f}"
+
+
+def format_throughput_figure(result: FigResult) -> str:
+    """Figures 6 and 7: throughput vs offered load."""
+    headers = [
+        "sensors", "servers", "offered req/s", "throughput req/s", "+/-", "util %",
+    ]
+    rows = [
+        [
+            str(p.sensors),
+            str(p.servers),
+            f"{p.offered_rps:.0f}",
+            f"{p.throughput:.0f}",
+            f"{p.throughput_std:.0f}",
+            f"{p.utilization * 100:.0f}",
+        ]
+        for p in result.points
+    ]
+    body = _table(headers, rows)
+    notes = "".join(f"\n  {key}: {value}" for key, value in result.notes.items())
+    return f"{result.figure}: {result.title}\n{body}{notes}"
+
+
+def format_latency_figure(result: FigResult, kind: str) -> str:
+    """Figures 8 and 9: latency percentiles vs sensors (milliseconds)."""
+    headers = ["sensors", "util %", "n", "p50 ms", "p90 ms", "p99 ms", "p99.9 ms"]
+    rows = []
+    for point in result.points:
+        summary = getattr(point, kind)
+        rows.append(
+            [
+                str(point.sensors),
+                f"{point.utilization * 100:.0f}",
+                str(summary.requests if summary else 0),
+                _ms(summary.p50 if summary else None),
+                _ms(summary.p90 if summary else None),
+                _ms(summary.p99 if summary else None),
+                _ms(summary.p999 if summary else None),
+            ]
+        )
+    body = _table(headers, rows)
+    return f"{result.figure}: {result.title}\n{body}"
+
+
+def format_ablation(result: AblationResult) -> str:
+    """Generic ablation table from its row dictionaries."""
+    if not result.rows:
+        return f"ablation {result.name}: no rows"
+    headers = list(result.rows[0].keys())
+    rows = []
+    for row in result.rows:
+        cells = []
+        for header in headers:
+            value = row[header]
+            if isinstance(value, float):
+                cells.append(f"{value:.4g}")
+            else:
+                cells.append(str(value))
+        rows.append(cells)
+    body = _table(headers, rows)
+    notes = "".join(f"\n  {key}: {value}" for key, value in result.notes.items())
+    return f"ablation: {result.name}\n{body}{notes}"
+
+
+def format_result(result: FigResult | AblationResult) -> str:
+    """Dispatch to the right formatter."""
+    if isinstance(result, AblationResult):
+        return format_ablation(result)
+    if result.figure in ("fig6", "fig7"):
+        return format_throughput_figure(result)
+    kind = "raw" if result.figure == "fig8" else "live"
+    return format_latency_figure(result, kind)

@@ -1,0 +1,269 @@
+"""The benchmarking tool: deployment builder and load generator.
+
+Reproduces the paper's .NET benchmarking client (§6.1):
+
+- **Sensor waves**: every simulated sensor sends one insert request with 20
+  data points (10 per physical channel) each second, "repeated each second
+  if all sensors have finished their calls" — a global wave barrier.
+- **User queries**: per organization, at most one live-data request and one
+  raw-data request per second (≈1%/1%/98% mix at 100 sensors/org).
+- **Measurement**: windowed means with first/last-window trimming
+  (:mod:`repro.bench.metrics`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..aodb.database import AodbDatabase
+from ..kernel.rng import RngRegistry
+from ..kernel.scheduler import Scheduler
+from ..net.latency import ConstantLatency
+from ..net.network import Network
+from ..runtime.key import ActorKey
+from ..runtime.runtime import AodbRuntime
+from ..shm.platform import ProvisionReport, ShmPlatform, channel_id_for
+from .calibration import LAN_LATENCY_SECONDS, calibrated_config
+from .instances import InstanceType
+from .metrics import LatencyRecorder, Summary
+
+
+@dataclass
+class LoadConfig:
+    """One load run's parameters."""
+
+    sensors: int
+    duration: float = 12.0
+    window_seconds: float = 1.0
+    sensors_per_org: int = 100
+    with_queries: bool = False
+    wave_jitter: float = 0.02
+    raw_range_seconds: float = 2.0
+    points_per_channel: int = 10
+    sample_dt: float = 0.1
+
+
+@dataclass
+class Deployment:
+    """A provisioned cluster ready to receive load."""
+
+    scheduler: Scheduler
+    runtime: AodbRuntime
+    database: AodbDatabase
+    platform: ShmPlatform
+    rng: RngRegistry
+    report: ProvisionReport | None = None
+
+
+@dataclass
+class RunResult:
+    """Everything a figure needs from one load run."""
+
+    config: LoadConfig
+    recorder: LatencyRecorder
+    measure_start: float
+    measure_end: float
+    utilization: dict[str, float] = field(default_factory=dict)
+
+    def summary(self, kind: str) -> Summary | None:
+        return self.recorder.summarize(
+            kind,
+            self.config.window_seconds,
+            self.measure_start,
+            self.measure_end,
+        )
+
+    @property
+    def insert_throughput(self) -> float:
+        summary = self.summary("insert")
+        return summary.throughput_mean if summary else 0.0
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.utilization:
+            return 0.0
+        return sum(self.utilization.values()) / len(self.utilization)
+
+
+def build_deployment(
+    silos: list[InstanceType],
+    seed: int = 0,
+    window_capacity: int = 256,
+    enable_aggregation: bool = False,
+    scheduler: Scheduler | None = None,
+) -> Deployment:
+    """Assemble runtime + database + SHM platform over simulated servers."""
+    scheduler = scheduler or Scheduler()
+    rng = RngRegistry(seed)
+    config = calibrated_config(seed)
+    network = Network(
+        scheduler, rng=rng, lan=ConstantLatency(LAN_LATENCY_SECONDS)
+    )
+    runtime = AodbRuntime(scheduler, config=config, network=network, rng=rng)
+    for index, instance_type in enumerate(silos):
+        runtime.add_silo(
+            f"silo-{index}",
+            cores=instance_type.cores,
+            speed=instance_type.speed,
+            instance_type=instance_type.name,
+        )
+    database = AodbDatabase(runtime)
+    platform = ShmPlatform(
+        database,
+        window_capacity=window_capacity,
+        enable_aggregation=enable_aggregation,
+    )
+    return Deployment(scheduler, runtime, database, platform, rng)
+
+
+async def provision(
+    deployment: Deployment,
+    total_sensors: int,
+    sensors_per_org: int = 100,
+) -> ProvisionReport:
+    """Provision the paper's structure, partitioning tenants over silos.
+
+    Organizations (and, via prefer-local placement, their whole actor
+    subtrees) are pinned round-robin across silos — the paper's "no
+    dependencies across organizations" partitioning that makes Figure 7
+    scale linearly.
+    """
+    silo_ids = [silo.silo_id for silo in deployment.runtime.silos()]
+    org_count = (total_sensors + sensors_per_org - 1) // sensors_per_org
+    pinned = deployment.runtime.pinned_placement
+    for org_index in range(org_count):
+        silo_id = silo_ids[org_index % len(silo_ids)]
+        org_id = f"org-{org_index}"
+        pinned.pin(ActorKey("Organization", org_id), silo_id)
+        pinned.pin_prefix(f"Sensor/{org_id}/", silo_id)
+    report = await deployment.platform.provision(
+        total_sensors, sensors_per_org=sensors_per_org
+    )
+    deployment.report = report
+    # Provisioning work must not pollute the measurement.
+    for silo in deployment.runtime.silos():
+        silo.cpu.reset_accounting()
+    return report
+
+
+def synth_value(channel_index: int, timestamp: float) -> float:
+    """Cheap deterministic signal: per-channel offset plus a slow drift."""
+    return channel_index * 10.0 + 0.001 * timestamp
+
+
+async def run_load(deployment: Deployment, load: LoadConfig) -> RunResult:
+    """Drive the paper's workload and return the measurements."""
+    if deployment.report is None:
+        raise RuntimeError("call provision() before run_load()")
+    scheduler = deployment.scheduler
+    platform = deployment.platform
+    recorder = LatencyRecorder()
+    jitter_rng = deployment.rng.stream("wave-jitter")
+    query_rng = deployment.rng.stream("queries")
+    start = scheduler.now
+    stop = start + load.duration
+    sensor_ids = deployment.report.sensor_ids
+    org_ids = deployment.report.org_ids
+    org_channels = {
+        org_id: [
+            channel_id_for(sensor_id, channel)
+            for sensor_id in sensor_ids
+            if sensor_id.startswith(f"{org_id}/")
+            for channel in (0, 1)
+        ]
+        for org_id in org_ids
+    }
+
+    async def one_insert(sensor_id: str, jitter: float, wave_time: float) -> None:
+        if jitter > 0:
+            await scheduler.sleep(jitter)
+        sent = scheduler.now
+        batches = {}
+        for channel in (0, 1):
+            channel_id = channel_id_for(sensor_id, channel)
+            batches[channel_id] = [
+                (
+                    wave_time + i * load.sample_dt,
+                    synth_value(channel, wave_time + i * load.sample_dt),
+                )
+                for i in range(load.points_per_channel)
+            ]
+        await platform.ingest(sensor_id, batches)
+        recorder.record("insert", sent, scheduler.now - sent)
+
+    async def fleet() -> None:
+        while scheduler.now < stop:
+            wave_time = scheduler.now
+            tasks = [
+                scheduler.spawn(
+                    one_insert(
+                        sensor_id,
+                        jitter_rng.uniform(0, load.wave_jitter),
+                        wave_time,
+                    )
+                )
+                for sensor_id in sensor_ids
+            ]
+            await scheduler.gather(tasks)
+            next_wave = wave_time + 1.0
+            if scheduler.now < next_wave:
+                await scheduler.sleep(next_wave - scheduler.now)
+
+    async def live_queries(org_id: str) -> None:
+        # One user per organization looks at live data once a second; the
+        # moment within each second is uniformly random (users are not
+        # synchronized with the sensor waves).
+        cycle = scheduler.now
+        while cycle < stop:
+            offset = query_rng.uniform(0, 1.0)
+            await scheduler.at(cycle + offset)
+            sent = scheduler.now
+            await platform.live_data(org_id)
+            recorder.record("live", sent, scheduler.now - sent)
+            cycle += 1.0
+            if scheduler.now < cycle:
+                await scheduler.sleep(cycle - scheduler.now)
+
+    async def raw_queries(org_id: str) -> None:
+        channels = org_channels[org_id]
+        cycle = scheduler.now
+        while cycle < stop:
+            offset = query_rng.uniform(0, 1.0)
+            await scheduler.at(cycle + offset)
+            channel_id = channels[query_rng.randrange(len(channels))]
+            sent = scheduler.now
+            await platform.raw_range(
+                channel_id, sent - load.raw_range_seconds, sent
+            )
+            recorder.record("raw", sent, scheduler.now - sent)
+            cycle += 1.0
+            if scheduler.now < cycle:
+                await scheduler.sleep(cycle - scheduler.now)
+
+    tasks = [scheduler.spawn(fleet(), name="fleet")]
+    if load.with_queries:
+        for org_id in org_ids:
+            tasks.append(scheduler.spawn(live_queries(org_id), name=f"live:{org_id}"))
+            tasks.append(scheduler.spawn(raw_queries(org_id), name=f"raw:{org_id}"))
+
+    utilization: dict[str, float] = {}
+
+    async def snapshot_utilization() -> None:
+        await scheduler.at(stop)
+        for silo in deployment.runtime.silos():
+            utilization[silo.silo_id] = silo.cpu.utilization()
+
+    tasks.append(scheduler.spawn(snapshot_utilization(), name="utilization"))
+    await scheduler.gather(tasks)
+    return RunResult(
+        config=load,
+        recorder=recorder,
+        measure_start=start,
+        measure_end=stop,
+        utilization=utilization,
+    )
+
+
+def execute(deployment: Deployment, load: LoadConfig) -> RunResult:
+    """Synchronous convenience wrapper used by benches and the CLI."""
+    return deployment.scheduler.run_until_complete(run_load(deployment, load))

@@ -1,0 +1,277 @@
+"""Slaughterhouse, Distributor, Delivery and Retailer actors (model A).
+
+These are the active supply-chain parties of Figure 3: a slaughterhouse
+derives Meat Cut actors from cows, a distributor manages Delivery actors
+(each one transportation process), and a retailer transforms cuts into Meat
+Product actors.
+"""
+
+from __future__ import annotations
+
+from ..errors import LifecycleError, UnknownEntityError
+from ..runtime.actor import Actor, actor_method
+from .model import DeliveryStatus, cut_id_for, product_id_for
+
+
+class Slaughterhouse(Actor):
+    """Slaughters cows and derives meat cuts."""
+
+    durable = True
+
+    async def setup(self, name: str, location_gln: str | None = None) -> dict:
+        """Initialize (idempotent)."""
+        self.state.setdefault("name", name)
+        self.state.setdefault("location_gln", location_gln)
+        self.state.setdefault("processed_cows", [])
+        self.state.setdefault("produced_cuts", [])
+        self.mark_dirty()
+        return {"slaughterhouse_id": self.actor_id}
+
+    async def slaughter_cow(
+        self, cow_id: str, timestamp: float, cuts: int = 4, weight_kg: float = 20.0
+    ) -> list[str]:
+        """Slaughter one cow and create its Meat Cut actors.
+
+        The cow actor enforces single-slaughter; the cut actors record
+        provenance.  Also removes the cow from its owner's herd.
+        """
+        if cuts < 1:
+            raise ValueError("a slaughter must produce at least one cut")
+        cow = self.context.actor("Cow", cow_id)
+        provenance = await cow.slaughter(self.actor_id, timestamp)
+        owner = provenance.get("owner_id")
+        if owner:
+            # The herd membership is eventually consistent with the cow's
+            # terminal status (a one-way update, per the paper's workflow
+            # discussion in §4.4).
+            self.context.actor("Farmer", owner).tell("remove_cow", cow_id)
+        cut_ids = []
+        for index in range(cuts):
+            cut_id = cut_id_for(cow_id, index)
+            await self.context.actor("MeatCut", cut_id).create(
+                cow_id, self.actor_id, timestamp, weight_kg=weight_kg
+            )
+            cut_ids.append(cut_id)
+        self.state.setdefault("processed_cows", []).append(cow_id)
+        self.state.setdefault("produced_cuts", []).extend(cut_ids)
+        self.mark_dirty()
+        return cut_ids
+
+    @actor_method(read_only=True)
+    async def processed(self) -> dict:
+        """Throughput summary: cows processed, cuts produced."""
+        return {
+            "slaughterhouse_id": self.actor_id,
+            "cows": list(self.state.get("processed_cows", ())),
+            "cuts": list(self.state.get("produced_cuts", ())),
+        }
+
+    @actor_method(read_only=True)
+    async def incoming_cow_info(self, cow_id: str) -> dict:
+        """Requirement 3: provenance of a cow that will be slaughtered."""
+        cow = self.context.actor("Cow", cow_id)
+        description = await cow.describe()
+        history = await cow.history()
+        return {"cow": description, "history": history}
+
+
+class Delivery(Actor):
+    """One transportation process: cuts from a source to a destination."""
+
+    durable = True
+    indexed_attributes = ("status",)
+
+    async def schedule(
+        self,
+        distributor_id: str,
+        cut_ids: list[str],
+        source_id: str,
+        destination_id: str,
+        vehicle: str = "truck",
+    ) -> dict:
+        """Plan the delivery."""
+        if self.state.get("distributor_id") is not None:
+            raise LifecycleError(f"delivery {self.actor_id} already scheduled")
+        if not cut_ids:
+            raise ValueError("a delivery needs at least one cut")
+        self.state["distributor_id"] = distributor_id
+        self.state["cut_ids"] = list(cut_ids)
+        self.state["source_id"] = source_id
+        self.state["destination_id"] = destination_id
+        self.state["vehicle"] = vehicle
+        self.set_indexed("status", DeliveryStatus.PLANNED.value)
+        self.state["started_at"] = None
+        self.state["completed_at"] = None
+        self.mark_dirty()
+        return {"delivery_id": self.actor_id, "cuts": len(cut_ids)}
+
+    async def start(self, timestamp: float) -> str:
+        """Pick the cuts up: they enter transit under the distributor."""
+        if self.state.get("status") != DeliveryStatus.PLANNED.value:
+            raise LifecycleError(f"delivery {self.actor_id} is not planned")
+        futures = [
+            self.context.actor("MeatCut", cut_id).ask(
+                "start_transit",
+                self.actor_id,
+                self.state["distributor_id"],
+                timestamp,
+            )
+            for cut_id in self.state.get("cut_ids", ())
+        ]
+        await self.context.runtime.scheduler.gather(futures)
+        self.set_indexed("status", DeliveryStatus.IN_TRANSIT.value)
+        self.state["started_at"] = timestamp
+        self.mark_dirty()
+        return self.state["status"]
+
+    async def complete(self, timestamp: float) -> str:
+        """Drop the cuts at the destination and notify it."""
+        if self.state.get("status") != DeliveryStatus.IN_TRANSIT.value:
+            raise LifecycleError(f"delivery {self.actor_id} is not in transit")
+        destination = self.state["destination_id"]
+        futures = [
+            self.context.actor("MeatCut", cut_id).ask(
+                "end_transit", self.actor_id, destination, timestamp
+            )
+            for cut_id in self.state.get("cut_ids", ())
+        ]
+        await self.context.runtime.scheduler.gather(futures)
+        self.context.actor("Retailer", destination).tell(
+            "receive_cuts", list(self.state.get("cut_ids", ())), timestamp
+        )
+        self.set_indexed("status", DeliveryStatus.COMPLETED.value)
+        self.state["completed_at"] = timestamp
+        self.mark_dirty()
+        return self.state["status"]
+
+    @actor_method(read_only=True)
+    async def describe(self) -> dict:
+        """Tracking info for this transportation process."""
+        return {
+            "delivery_id": self.actor_id,
+            "distributor_id": self.state.get("distributor_id"),
+            "cut_ids": list(self.state.get("cut_ids", ())),
+            "source_id": self.state.get("source_id"),
+            "destination_id": self.state.get("destination_id"),
+            "vehicle": self.state.get("vehicle"),
+            "status": self.state.get("status"),
+            "started_at": self.state.get("started_at"),
+            "completed_at": self.state.get("completed_at"),
+        }
+
+
+class Distributor(Actor):
+    """A logistics company managing many Delivery actors."""
+
+    durable = True
+
+    async def setup(self, name: str) -> dict:
+        """Initialize (idempotent)."""
+        self.state.setdefault("name", name)
+        self.state.setdefault("delivery_ids", [])
+        self.state.setdefault("next_delivery", 0)
+        self.mark_dirty()
+        return {"distributor_id": self.actor_id}
+
+    async def create_delivery(
+        self,
+        cut_ids: list[str],
+        source_id: str,
+        destination_id: str,
+        vehicle: str = "truck",
+    ) -> str:
+        """Create and schedule a new Delivery actor; returns its id."""
+        index = self.state.setdefault("next_delivery", 0)
+        self.state["next_delivery"] = index + 1
+        delivery_id = f"{self.actor_id}/delivery-{index}"
+        await self.context.actor("Delivery", delivery_id).schedule(
+            self.actor_id, cut_ids, source_id, destination_id, vehicle
+        )
+        self.state.setdefault("delivery_ids", []).append(delivery_id)
+        self.mark_dirty()
+        return delivery_id
+
+    @actor_method(read_only=True)
+    async def deliveries(self) -> list[str]:
+        """Ids of this distributor's transportation processes."""
+        return list(self.state.get("delivery_ids", ()))
+
+    @actor_method(read_only=True)
+    async def cut_tracking(self, cut_id: str) -> dict:
+        """Requirement 4: where a cut came from and where it is going."""
+        return await self.context.actor("MeatCut", cut_id).ask("trace")
+
+
+class Retailer(Actor):
+    """Receives meat cuts and transforms them into consumer products."""
+
+    durable = True
+
+    async def setup(self, name: str, location_gln: str | None = None) -> dict:
+        """Initialize (idempotent)."""
+        self.state.setdefault("name", name)
+        self.state.setdefault("location_gln", location_gln)
+        self.state.setdefault("stock", [])
+        self.state.setdefault("product_ids", [])
+        self.state.setdefault("next_product", 0)
+        self.mark_dirty()
+        return {"retailer_id": self.actor_id}
+
+    async def receive_cuts(self, cut_ids: list[str], timestamp: float) -> int:
+        """Take delivered cuts into stock; returns stock size."""
+        stock = self.state.setdefault("stock", [])
+        for cut_id in cut_ids:
+            if cut_id not in stock:
+                stock.append(cut_id)
+        self.mark_dirty()
+        return len(stock)
+
+    async def create_product(
+        self,
+        cut_ids: list[str],
+        timestamp: float,
+        product_kind: str = "steak-pack",
+    ) -> str:
+        """Requirement 5: transform stocked cuts into a consumer product."""
+        stock = self.state.setdefault("stock", [])
+        missing = [cut_id for cut_id in cut_ids if cut_id not in stock]
+        if missing:
+            raise UnknownEntityError(
+                f"retailer {self.actor_id} does not stock {missing}"
+            )
+        index = self.state.setdefault("next_product", 0)
+        self.state["next_product"] = index + 1
+        product_id = product_id_for(self.actor_id, index)
+        await self.context.actor("MeatProduct", product_id).create(
+            self.actor_id, cut_ids, timestamp, product_kind=product_kind
+        )
+        futures = [
+            self.context.actor("MeatCut", cut_id).ask(
+                "mark_transformed", [product_id], self.actor_id, timestamp
+            )
+            for cut_id in cut_ids
+        ]
+        await self.context.runtime.scheduler.gather(futures)
+        for cut_id in cut_ids:
+            stock.remove(cut_id)
+        self.state.setdefault("product_ids", []).append(product_id)
+        self.mark_dirty()
+        return product_id
+
+    async def sell_product(self, product_id: str, timestamp: float) -> dict:
+        """Final sale of a product to a consumer."""
+        if product_id not in self.state.get("product_ids", ()):
+            raise UnknownEntityError(
+                f"retailer {self.actor_id} does not offer {product_id}"
+            )
+        return await self.context.actor("MeatProduct", product_id).sell(timestamp)
+
+    @actor_method(read_only=True)
+    async def stock(self) -> list[str]:
+        """Cut ids currently in stock."""
+        return list(self.state.get("stock", ()))
+
+    @actor_method(read_only=True)
+    async def products(self) -> list[str]:
+        """Product ids created by this retailer."""
+        return list(self.state.get("product_ids", ()))

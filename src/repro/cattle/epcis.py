@@ -1,0 +1,171 @@
+"""EPCIS-style event-document export for supply-chain traces.
+
+The case study assumes "a global standard for supply chain messages, GS1,
+is adopted by participants" (§2.2).  This module exports a model-A product
+trace as an EPCIS-2.0-shaped event document — the interchange format a
+certification authority or a partner system would consume:
+
+- ObjectEvents for birth, ownership transfers and the final sale;
+- a TransformationEvent for slaughter (cow → cuts) and another for retail
+  transformation (cuts → product);
+- AggregationEvents for delivery pickup/drop-off (cuts ↔ transport).
+
+The vocabulary uses CBV-style business steps (``commissioning``,
+``slaughtering``, ``transporting`` …) without claiming full standard
+conformance — the shapes and ordering are what the tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..aodb.database import AodbDatabase
+
+CBV = "urn:epcglobal:cbv:bizstep"
+
+
+def _event(kind: str, biz_step: str, timestamp: float, **fields: object) -> dict:
+    event = {
+        "type": kind,
+        "bizStep": f"{CBV}:{biz_step}",
+        "eventTime": timestamp,
+    }
+    event.update(fields)
+    return event
+
+
+def cow_events(history: list[dict]) -> list[dict]:
+    """EPCIS events for one cow's recorded history."""
+    events: list[dict] = []
+    for record in history:
+        if record["kind"] == "birth":
+            events.append(
+                _event(
+                    "ObjectEvent",
+                    "commissioning",
+                    record["timestamp"],
+                    action="ADD",
+                    epcList=[record["subject"]],
+                    bizLocation=record["actor"],
+                )
+            )
+        elif record["kind"] == "transfer":
+            events.append(
+                _event(
+                    "ObjectEvent",
+                    "shipping",
+                    record["timestamp"],
+                    action="OBSERVE",
+                    epcList=[record["subject"]],
+                    source=record["details"].get("from"),
+                    destination=record["actor"],
+                )
+            )
+        elif record["kind"] == "slaughter":
+            # The TransformationEvent itself is emitted from the cut data
+            # (which knows the outputs); record the terminal observation.
+            events.append(
+                _event(
+                    "ObjectEvent",
+                    "slaughtering",
+                    record["timestamp"],
+                    action="DELETE",
+                    epcList=[record["subject"]],
+                    bizLocation=record["actor"],
+                )
+            )
+    return events
+
+
+def cut_events(cut_trace: dict) -> list[dict]:
+    """EPCIS events for one meat cut's itinerary."""
+    events: list[dict] = []
+    for leg in cut_trace.get("itinerary", ()):
+        if leg["kind"] == "transformation" and "from_cow" in leg["details"]:
+            events.append(
+                _event(
+                    "TransformationEvent",
+                    "slaughtering",
+                    leg["timestamp"],
+                    inputEPCList=[leg["details"]["from_cow"]],
+                    outputEPCList=[cut_trace["cut_id"]],
+                    bizLocation=leg["holder"],
+                )
+            )
+        elif leg["kind"] == "delivery_start":
+            events.append(
+                _event(
+                    "AggregationEvent",
+                    "transporting",
+                    leg["timestamp"],
+                    action="ADD",
+                    parentID=leg["details"].get("delivery_id"),
+                    childEPCs=[cut_trace["cut_id"]],
+                    bizLocation=leg["holder"],
+                )
+            )
+        elif leg["kind"] == "delivery_end":
+            events.append(
+                _event(
+                    "AggregationEvent",
+                    "receiving",
+                    leg["timestamp"],
+                    action="DELETE",
+                    parentID=leg["details"].get("delivery_id"),
+                    childEPCs=[cut_trace["cut_id"]],
+                    bizLocation=leg["holder"],
+                )
+            )
+        elif leg["kind"] == "transformation" and "into_products" in leg["details"]:
+            events.append(
+                _event(
+                    "TransformationEvent",
+                    "commissioning",
+                    leg["timestamp"],
+                    inputEPCList=[cut_trace["cut_id"]],
+                    outputEPCList=list(leg["details"]["into_products"]),
+                    bizLocation=leg["holder"],
+                )
+            )
+    return events
+
+
+async def export_product_document(
+    database: "AodbDatabase", product_id: str
+) -> dict:
+    """Assemble the full EPCIS event document for one meat product.
+
+    Events are gathered from the product's trace (cuts and their source
+    cows) and sorted by event time, yielding the chronological chain a
+    consumer-facing trace service would render.
+    """
+    trace = await database.ref("MeatProduct", product_id).trace()
+    events: list[dict] = []
+    seen_cows: set[str] = set()
+    for cut in trace["cuts"]:
+        cow_id = cut.get("cow_id")
+        if cow_id and cow_id not in seen_cows:
+            seen_cows.add(cow_id)
+            history = await database.ref("Cow", cow_id).history()
+            events.extend(cow_events(history))
+        events.extend(cut_events(cut))
+    if trace.get("sold_at") is not None:
+        events.append(
+            _event(
+                "ObjectEvent",
+                "retail_selling",
+                trace["sold_at"],
+                action="DELETE",
+                epcList=[product_id],
+                bizLocation=trace["retailer_id"],
+            )
+        )
+    events.sort(key=lambda event: (event["eventTime"], event["type"]))
+    return {
+        "@context": "https://ref.gs1.org/standards/epcis/epcis-context.jsonld",
+        "type": "EPCISDocument",
+        "schemaVersion": "2.0",
+        "epcisBody": {"eventList": events},
+        "subject": product_id,
+    }

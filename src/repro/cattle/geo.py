@@ -1,0 +1,90 @@
+"""Geospatial primitives: distance, trajectories and geo-fences.
+
+Functional requirement 2 of the cattle case study: "Farmers need to track
+each cow's trajectory and behavior ... Geo-fencing can help identify
+whether a cow is in an appropriate area (e.g., when rotating pasture
+grounds)."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+EARTH_RADIUS_METERS = 6_371_000.0
+
+
+def haversine_meters(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Great-circle distance between two WGS-84 points, in meters."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlambda = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2) ** 2
+    )
+    return 2 * EARTH_RADIUS_METERS * math.asin(math.sqrt(min(1.0, a)))
+
+
+@dataclass(frozen=True)
+class GeoFence:
+    """A polygonal pasture boundary (vertices as (lat, lon) pairs)."""
+
+    name: str
+    vertices: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 3:
+            raise ValueError("a geo-fence needs at least three vertices")
+
+    def contains(self, latitude: float, longitude: float) -> bool:
+        """Point-in-polygon by ray casting (boundary counts as inside)."""
+        inside = False
+        count = len(self.vertices)
+        for i in range(count):
+            lat1, lon1 = self.vertices[i]
+            lat2, lon2 = self.vertices[(i + 1) % count]
+            # Point exactly on a vertex counts as inside.
+            if latitude == lat1 and longitude == lon1:
+                return True
+            if (lon1 > longitude) != (lon2 > longitude):
+                intersect_lat = lat1 + (longitude - lon1) * (lat2 - lat1) / (lon2 - lon1)
+                if latitude < intersect_lat:
+                    inside = not inside
+                elif latitude == intersect_lat:
+                    return True  # on an edge
+        return inside
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "vertices": [list(v) for v in self.vertices]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GeoFence":
+        return cls(payload["name"], tuple(tuple(v) for v in payload["vertices"]))
+
+
+def rectangle_fence(
+    name: str, lat_min: float, lon_min: float, lat_max: float, lon_max: float
+) -> GeoFence:
+    """Convenience: an axis-aligned rectangular pasture."""
+    if lat_max <= lat_min or lon_max <= lon_min:
+        raise ValueError("rectangle must have positive extent")
+    return GeoFence(
+        name,
+        (
+            (lat_min, lon_min),
+            (lat_min, lon_max),
+            (lat_max, lon_max),
+            (lat_max, lon_min),
+        ),
+    )
+
+
+def trajectory_length_meters(points: list[tuple[float, float]]) -> float:
+    """Total path length of a (lat, lon) trajectory."""
+    total = 0.0
+    for (lat1, lon1), (lat2, lon2) in zip(points, points[1:]):
+        total += haversine_meters(lat1, lon1, lat2, lon2)
+    return total

@@ -1,0 +1,195 @@
+"""Meat Cut and Meat Product actors (model A, Figure 3).
+
+In the paper's primary model these inanimate entities are actors that
+"only encapsulate state and manage corresponding queries and updates
+originating from active entities" (§4.3).  The alternative representation
+as versioned non-actor objects lives in :mod:`repro.cattle.versions`.
+"""
+
+from __future__ import annotations
+
+from ..errors import LifecycleError
+from ..runtime.actor import Actor, actor_method
+from .model import EventKind, MeatCutStatus
+
+
+class MeatCut(Actor):
+    """A unit of beef distributed as a whole, traceable to its cow."""
+
+    durable = True
+    indexed_attributes = ("status", "holder")
+
+    async def create(
+        self,
+        cow_id: str,
+        slaughterhouse_id: str,
+        timestamp: float,
+        weight_kg: float = 20.0,
+        cut_kind: str = "rib",
+    ) -> dict:
+        """Derive the cut at a slaughterhouse from a slaughtered cow."""
+        if self.state.get("cow_id") is not None:
+            raise LifecycleError(f"meat cut {self.actor_id} already created")
+        self.state["cow_id"] = cow_id
+        self.state["slaughterhouse_id"] = slaughterhouse_id
+        self.state["created_at"] = timestamp
+        self.state["weight_kg"] = weight_kg
+        self.state["cut_kind"] = cut_kind
+        self.set_indexed("status", MeatCutStatus.AT_SLAUGHTERHOUSE.value)
+        self.set_indexed("holder", slaughterhouse_id)
+        self.state["itinerary"] = [
+            {
+                "kind": EventKind.TRANSFORMATION.value,
+                "timestamp": timestamp,
+                "holder": slaughterhouse_id,
+                "details": {"from_cow": cow_id},
+            }
+        ]
+        self.state["product_ids"] = []
+        self.mark_dirty()
+        return {"cut_id": self.actor_id, "cow_id": cow_id}
+
+    def _require_not_transformed(self) -> None:
+        if self.state.get("status") == MeatCutStatus.TRANSFORMED.value:
+            raise LifecycleError(
+                f"meat cut {self.actor_id} was already transformed into products"
+            )
+
+    async def start_transit(
+        self, delivery_id: str, distributor_id: str, timestamp: float
+    ) -> str:
+        """A delivery picked this cut up."""
+        self._require_not_transformed()
+        self.set_indexed("status", MeatCutStatus.IN_TRANSIT.value)
+        self.set_indexed("holder", distributor_id)
+        self.state.setdefault("itinerary", []).append(
+            {
+                "kind": EventKind.DELIVERY_START.value,
+                "timestamp": timestamp,
+                "holder": distributor_id,
+                "details": {"delivery_id": delivery_id},
+            }
+        )
+        self.mark_dirty()
+        return self.state["status"]
+
+    async def end_transit(
+        self, delivery_id: str, destination_id: str, timestamp: float
+    ) -> str:
+        """A delivery dropped this cut at its destination (a retailer)."""
+        if self.state.get("status") != MeatCutStatus.IN_TRANSIT.value:
+            raise LifecycleError(
+                f"meat cut {self.actor_id} is not in transit"
+            )
+        self.set_indexed("status", MeatCutStatus.AT_RETAILER.value)
+        self.set_indexed("holder", destination_id)
+        self.state.setdefault("itinerary", []).append(
+            {
+                "kind": EventKind.DELIVERY_END.value,
+                "timestamp": timestamp,
+                "holder": destination_id,
+                "details": {"delivery_id": delivery_id},
+            }
+        )
+        self.mark_dirty()
+        return self.state["status"]
+
+    async def mark_transformed(
+        self, product_ids: list[str], retailer_id: str, timestamp: float
+    ) -> str:
+        """The retailer turned this cut into consumer products."""
+        if self.state.get("status") != MeatCutStatus.AT_RETAILER.value:
+            raise LifecycleError(
+                f"meat cut {self.actor_id} is not at a retailer "
+                f"(status {self.state.get('status')!r})"
+            )
+        self.set_indexed("status", MeatCutStatus.TRANSFORMED.value)
+        self.state.setdefault("product_ids", []).extend(product_ids)
+        self.state.setdefault("itinerary", []).append(
+            {
+                "kind": EventKind.TRANSFORMATION.value,
+                "timestamp": timestamp,
+                "holder": retailer_id,
+                "details": {"into_products": list(product_ids)},
+            }
+        )
+        self.mark_dirty()
+        return self.state["status"]
+
+    # -- tracing -------------------------------------------------------------------
+
+    @actor_method(read_only=True)
+    async def trace(self) -> dict:
+        """This cut's full tracking record (requirements 3-4)."""
+        return {
+            "cut_id": self.actor_id,
+            "cow_id": self.state.get("cow_id"),
+            "slaughterhouse_id": self.state.get("slaughterhouse_id"),
+            "status": self.state.get("status"),
+            "holder": self.state.get("holder"),
+            "weight_kg": self.state.get("weight_kg"),
+            "cut_kind": self.state.get("cut_kind"),
+            "itinerary": [dict(e) for e in self.state.get("itinerary", ())],
+            "product_ids": list(self.state.get("product_ids", ())),
+        }
+
+    @actor_method(read_only=True)
+    async def describe(self) -> dict:
+        """Short status summary."""
+        return {
+            "cut_id": self.actor_id,
+            "status": self.state.get("status"),
+            "holder": self.state.get("holder"),
+        }
+
+
+class MeatProduct(Actor):
+    """A consumer product composed from one or more meat cuts (many-to-many)."""
+
+    durable = True
+    indexed_attributes = ("retailer_id",)
+
+    async def create(
+        self,
+        retailer_id: str,
+        cut_ids: list[str],
+        timestamp: float,
+        product_kind: str = "steak-pack",
+    ) -> dict:
+        """Compose the product at a retailer."""
+        if self.state.get("retailer_id") is not None:
+            raise LifecycleError(f"product {self.actor_id} already created")
+        if not cut_ids:
+            raise ValueError("a meat product needs at least one cut")
+        self.set_indexed("retailer_id", retailer_id)
+        self.state["cut_ids"] = list(cut_ids)
+        self.state["created_at"] = timestamp
+        self.state["product_kind"] = product_kind
+        self.state["sold_at"] = None
+        self.mark_dirty()
+        return {"product_id": self.actor_id, "cut_ids": list(cut_ids)}
+
+    async def sell(self, timestamp: float) -> dict:
+        """Final sale to a consumer."""
+        if self.state.get("sold_at") is not None:
+            raise LifecycleError(f"product {self.actor_id} already sold")
+        self.state["sold_at"] = timestamp
+        self.mark_dirty()
+        return {"product_id": self.actor_id, "sold_at": timestamp}
+
+    @actor_method(read_only=True)
+    async def trace(self) -> dict:
+        """Consumer-facing trace: the product plus each cut's full trace."""
+        cut_ids = list(self.state.get("cut_ids", ()))
+        futures = [
+            self.context.actor("MeatCut", cut_id).ask("trace") for cut_id in cut_ids
+        ]
+        cut_traces = await self.context.runtime.scheduler.gather(futures)
+        return {
+            "product_id": self.actor_id,
+            "retailer_id": self.state.get("retailer_id"),
+            "product_kind": self.state.get("product_kind"),
+            "created_at": self.state.get("created_at"),
+            "sold_at": self.state.get("sold_at"),
+            "cuts": cut_traces,
+        }

@@ -1,0 +1,111 @@
+"""Value objects of the beef cattle tracking & tracing domain.
+
+Identifiers follow the GS1 conventions the paper assumes ("a global
+standard for supply chain messages, GS1, is adopted by participants"):
+locations are GLNs (Global Location Numbers), trade items are GTINs, and
+supply-chain happenings are EPCIS-style events (object / transformation /
+aggregation), simplified to what the case study needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EventKind(enum.Enum):
+    """EPCIS-style event vocabulary (simplified)."""
+
+    BIRTH = "birth"
+    SENSOR_READING = "sensor_reading"
+    TRANSFER = "transfer"  # change of ownership/custody
+    SLAUGHTER = "slaughter"
+    TRANSFORMATION = "transformation"  # cow -> cuts, cuts -> products
+    DELIVERY_START = "delivery_start"
+    DELIVERY_END = "delivery_end"
+    SALE = "sale"
+
+
+class CowStatus(enum.Enum):
+    """Lifecycle of a cow in the chain."""
+
+    ALIVE = "alive"
+    IN_TRANSIT = "in_transit"
+    SLAUGHTERED = "slaughtered"
+
+
+class MeatCutStatus(enum.Enum):
+    """Lifecycle of a meat cut."""
+
+    AT_SLAUGHTERHOUSE = "at_slaughterhouse"
+    IN_TRANSIT = "in_transit"
+    AT_RETAILER = "at_retailer"
+    TRANSFORMED = "transformed"  # became part of meat products
+
+
+class DeliveryStatus(enum.Enum):
+    """Lifecycle of one transportation process."""
+
+    PLANNED = "planned"
+    IN_TRANSIT = "in_transit"
+    COMPLETED = "completed"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One immutable supply-chain event attached to an entity's history."""
+
+    kind: str
+    timestamp: float
+    actor: str  # qualified actor key of the responsible party
+    subject: str  # entity the event is about (cow id, cut id, ...)
+    details: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "timestamp": self.timestamp,
+            "actor": self.actor,
+            "subject": self.subject,
+            "details": dict(self.details),
+        }
+
+
+@dataclass(frozen=True)
+class CollarReading:
+    """One reading from a cow's collar sensor (non-actor object, Fig. 3)."""
+
+    timestamp: float
+    latitude: float
+    longitude: float
+    activity: float = 0.0  # movement intensity
+    temperature: float | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "timestamp": self.timestamp,
+            "latitude": self.latitude,
+            "longitude": self.longitude,
+            "activity": self.activity,
+            "temperature": self.temperature,
+        }
+
+
+def gln(index: int, kind: str = "loc") -> str:
+    """A fake-but-well-formed GS1 Global Location Number."""
+    return f"urn:gs1:gln:{kind}:{index:07d}"
+
+
+def gtin(index: int) -> str:
+    """A fake-but-well-formed GS1 Global Trade Item Number."""
+    return f"urn:gs1:gtin:{index:012d}"
+
+
+def cut_id_for(cow_id: str, index: int) -> str:
+    """Meat-cut identifier derived from its source cow."""
+    return f"{cow_id}/cut-{index}"
+
+
+def product_id_for(retailer_id: str, index: int) -> str:
+    """Meat-product identifier scoped to the producing retailer."""
+    return f"{retailer_id}/product-{index}"

@@ -1,0 +1,138 @@
+"""The Beef Cattle Tracking & Tracing platform facade.
+
+Wires both models over one actor-oriented database:
+
+- **Model A** (Figure 3): meat cuts and products are actors.
+- **Model B** (Figure 5): cuts/products are versioned non-actor objects
+  copied between stage actors.
+
+The facade also implements the §4.4 ownership-transfer constraint in all
+three recommended flavours: a multi-actor **transaction**, a compensable
+**workflow**, and direct (unsafe) updates for comparison.
+"""
+
+from __future__ import annotations
+
+from ..aodb.database import AodbDatabase
+from ..errors import PlatformError, TransactionError
+from .chain import Delivery, Distributor, Retailer, Slaughterhouse
+from .cow import Cow
+from .farmer import Farmer
+from .meat import MeatCut, MeatProduct
+from .versions import MODEL_B_ACTORS
+
+MODEL_A_ACTORS = (
+    Farmer,
+    Cow,
+    Slaughterhouse,
+    MeatCut,
+    MeatProduct,
+    Distributor,
+    Delivery,
+    Retailer,
+)
+
+
+class CattlePlatform:
+    """End-to-end beef tracking & tracing over an AODB."""
+
+    def __init__(self, database: AodbDatabase, with_model_b: bool = True) -> None:
+        self.db = database
+        self.runtime = database.runtime
+        for actor_class in MODEL_A_ACTORS:
+            self.db.register_actor(actor_class)
+        if with_model_b:
+            for actor_class in MODEL_B_ACTORS:
+                self.db.register_actor(actor_class)
+
+    # -- provisioning ------------------------------------------------------------
+
+    async def register_farmer(self, farmer_id: str, name: str, gln: str | None = None):
+        """Create a farm unit tenant."""
+        return await self.runtime.ref("Farmer", farmer_id).setup(name, gln)
+
+    async def register_cow(
+        self, cow_id: str, farmer_id: str, breed: str = "angus", born_at: float = 0.0
+    ):
+        """Register a cow under its first owner (both sides updated)."""
+        result = await self.runtime.ref("Cow", cow_id).register(
+            farmer_id, breed=breed, born_at=born_at
+        )
+        await self.runtime.ref("Farmer", farmer_id).add_cow(cow_id)
+        return result
+
+    async def register_slaughterhouse(self, sid: str, name: str, gln=None):
+        """Create a slaughterhouse tenant (model A)."""
+        return await self.runtime.ref("Slaughterhouse", sid).setup(name, gln)
+
+    async def register_distributor(self, did: str, name: str):
+        """Create a distributor tenant (model A)."""
+        return await self.runtime.ref("Distributor", did).setup(name)
+
+    async def register_retailer(self, rid: str, name: str, gln=None):
+        """Create a retailer tenant (model A)."""
+        return await self.runtime.ref("Retailer", rid).setup(name, gln)
+
+    # -- ownership transfer, three ways (§4.4) -------------------------------------
+
+    async def sell_cow_transactional(
+        self, cow_id: str, from_farmer: str, to_farmer: str, timestamp: float
+    ) -> bool:
+        """Atomically move a cow between farm units (2PL transaction).
+
+        Returns True on commit; any failure (lock conflict, seller does not
+        own the cow, cow not alive) aborts, rolls back every participant and
+        returns False.
+        """
+        try:
+            async with self.db.transaction() as txn:
+                await txn.call("Farmer", from_farmer, "remove_cow", cow_id)
+                await txn.call("Farmer", to_farmer, "add_cow", cow_id)
+                await txn.call("Cow", cow_id, "set_owner", to_farmer, timestamp)
+            return True
+        except (TransactionError, PlatformError):
+            return False
+
+    async def sell_cow_workflow(
+        self, cow_id: str, from_farmer: str, to_farmer: str, timestamp: float
+    ):
+        """The same constraint as a compensable saga (eventual consistency)."""
+        seller = self.runtime.ref("Farmer", from_farmer)
+        buyer = self.runtime.ref("Farmer", to_farmer)
+        cow = self.runtime.ref("Cow", cow_id)
+        workflow = (
+            self.db.workflow(f"sell-{cow_id}")
+            .step(
+                "remove-from-seller",
+                lambda: seller.ask("remove_cow", cow_id),
+                lambda: seller.ask("add_cow", cow_id),
+            )
+            .step(
+                "add-to-buyer",
+                lambda: buyer.ask("add_cow", cow_id),
+                lambda: buyer.ask("remove_cow", cow_id),
+            )
+            .step(
+                "update-cow",
+                lambda: cow.ask("set_owner", to_farmer, timestamp),
+            )
+        )
+        return await workflow.run()
+
+    # -- queries across the chain ----------------------------------------------------
+
+    async def cows_of(self, farmer_id: str) -> list[str]:
+        """Indexed AODB query: all cows owned by one farm unit."""
+        return self.db.indexes.lookup("Cow", "owner_id", farmer_id)
+
+    async def cows_with_status(self, status: str) -> list[str]:
+        """Indexed AODB query: all cows in a lifecycle state."""
+        return self.db.indexes.lookup("Cow", "status", status)
+
+    async def cuts_held_by(self, holder_id: str) -> list[str]:
+        """Indexed AODB query: all meat cuts under one custodian."""
+        return self.db.indexes.lookup("MeatCut", "holder", holder_id)
+
+    async def trace_product(self, product_id: str) -> dict:
+        """Consumer trace (model A): product → cuts → cows."""
+        return await self.runtime.ref("MeatProduct", product_id).trace()

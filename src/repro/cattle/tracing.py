@@ -1,0 +1,110 @@
+"""Trace-graph assembly for the beef supply chain.
+
+Consumers "wish to get tracing information about meat products over the
+whole supply chain" (requirement 6).  This module assembles a product's
+provenance into a :mod:`networkx` directed graph — farm → cow → cut →
+delivery → product — which applications can render or query (paths,
+ancestors, dwell times).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..aodb.database import AodbDatabase
+
+
+async def build_product_trace_graph(
+    database: "AodbDatabase", product_id: str
+) -> nx.DiGraph:
+    """Assemble the full provenance graph of one meat product (model A).
+
+    Nodes carry a ``kind`` attribute (farmer, cow, slaughterhouse, cut,
+    product); edges a ``relation`` (owned, slaughtered_into, derived,
+    composed_into) and, where known, a ``timestamp``.
+    """
+    graph = nx.DiGraph()
+    product = database.ref("MeatProduct", product_id)
+    trace = await product.trace()
+    graph.add_node(
+        product_id,
+        kind="product",
+        product_kind=trace["product_kind"],
+        sold_at=trace["sold_at"],
+    )
+    retailer_id = trace["retailer_id"]
+    graph.add_node(retailer_id, kind="retailer")
+    graph.add_edge(retailer_id, product_id, relation="produced")
+    for cut in trace["cuts"]:
+        cut_id = cut["cut_id"]
+        graph.add_node(cut_id, kind="cut", cut_kind=cut.get("cut_kind"))
+        graph.add_edge(cut_id, product_id, relation="composed_into")
+        slaughterhouse_id = cut["slaughterhouse_id"]
+        graph.add_node(slaughterhouse_id, kind="slaughterhouse")
+        graph.add_edge(slaughterhouse_id, cut_id, relation="derived")
+        for leg in cut.get("itinerary", ()):
+            if leg["kind"] == "delivery_start":
+                delivery_id = leg["details"].get("delivery_id")
+                if delivery_id:
+                    graph.add_node(delivery_id, kind="delivery")
+                    graph.add_edge(
+                        cut_id,
+                        delivery_id,
+                        relation="transported_by",
+                        timestamp=leg["timestamp"],
+                    )
+        cow_id = cut["cow_id"]
+        if cow_id is not None and not graph.has_node(cow_id):
+            graph.add_node(cow_id, kind="cow")
+            history = await database.ref("Cow", cow_id).history()
+            for event in history:
+                if event["kind"] == "birth":
+                    farmer_id = event["actor"]
+                    graph.add_node(farmer_id, kind="farmer")
+                    graph.add_edge(
+                        farmer_id,
+                        cow_id,
+                        relation="owned",
+                        timestamp=event["timestamp"],
+                    )
+                elif event["kind"] == "transfer":
+                    farmer_id = event["actor"]
+                    graph.add_node(farmer_id, kind="farmer")
+                    graph.add_edge(
+                        farmer_id,
+                        cow_id,
+                        relation="owned",
+                        timestamp=event["timestamp"],
+                    )
+        if cow_id is not None:
+            graph.add_edge(cow_id, cut_id, relation="slaughtered_into")
+    return graph
+
+
+def origin_farms(graph: nx.DiGraph, product_id: str) -> list[str]:
+    """Every farm that ever owned an animal behind this product."""
+    ancestors = nx.ancestors(graph, product_id)
+    return sorted(
+        node for node in ancestors if graph.nodes[node].get("kind") == "farmer"
+    )
+
+
+def chain_path(graph: nx.DiGraph, product_id: str, cow_id: str) -> list[str]:
+    """One provenance path from a cow to the product (for display)."""
+    return nx.shortest_path(graph, cow_id, product_id)
+
+
+def summarize_trace(graph: nx.DiGraph, product_id: str) -> dict:
+    """Counts by node kind plus the origin farms — the consumer summary."""
+    kinds: dict[str, int] = {}
+    for node in nx.ancestors(graph, product_id) | {product_id}:
+        kind = graph.nodes[node].get("kind", "unknown")
+        kinds[kind] = kinds.get(kind, 0) + 1
+    return {
+        "product_id": product_id,
+        "entities": kinds,
+        "origin_farms": origin_farms(graph, product_id),
+    }

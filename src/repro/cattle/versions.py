@@ -1,0 +1,217 @@
+"""Model B (Figure 5): meat cuts and products as versioned non-actor objects.
+
+The paper's §4.3 trade-off: frequently accessed inanimate entities can be
+modeled as non-actor objects whose *versions* are copied between the actors
+responsible for each supply-chain stage.  "Upon transfer, the object
+representing the meat cut will be copied from the Slaughterhouse actor to
+the Distributor actor, where this new object version can be updated. ...
+communication to obtain meat cut information is obviated", at the price of
+copying and redundancy.
+
+This module provides the versioned-object machinery and the stage actors
+(registered as ``SlaughterhouseB`` etc. so both models coexist in one
+runtime for the §4.3 ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from ..errors import LifecycleError, UnknownEntityError
+from ..runtime.actor import Actor, actor_method
+from .model import cut_id_for, product_id_for
+
+
+def new_version(
+    entity_id: str, holder: str, timestamp: float, payload: dict, parent: dict | None
+) -> dict:
+    """Create the next object version of an entity at a new holder.
+
+    Versions form a chain: each embeds its provenance (prior holders), so a
+    holder can answer trace queries from purely local state.
+    """
+    version = 1 if parent is None else parent["version"] + 1
+    chain = list(parent["chain"]) if parent is not None else []
+    chain.append({"holder": holder, "timestamp": timestamp, "version": version})
+    return {
+        "entity_id": entity_id,
+        "version": version,
+        "holder": holder,
+        "timestamp": timestamp,
+        "payload": dict(payload),
+        "chain": chain,
+    }
+
+
+class _VersionHolder(Actor):
+    """Shared machinery: a stage actor holding object versions locally."""
+
+    durable = True
+
+    async def setup(self, name: str, location_gln: str | None = None) -> dict:
+        """Initialize the stage actor (idempotent)."""
+        self.state.setdefault("name", name)
+        self.state.setdefault("location_gln", location_gln)
+        self.state.setdefault("versions", {})
+        self.mark_dirty()
+        return {"actor_id": self.actor_id, "name": self.state["name"]}
+
+    def _versions(self) -> dict:
+        return self.state.setdefault("versions", {})
+
+    def _hold(self, version: dict) -> None:
+        self._versions()[version["entity_id"]] = version
+        self.mark_dirty()
+
+    def _release(self, entity_id: str) -> dict:
+        versions = self._versions()
+        version = versions.pop(entity_id, None)
+        if version is None:
+            raise UnknownEntityError(
+                f"{self.actor_id} holds no version of {entity_id}"
+            )
+        self.mark_dirty()
+        return version
+
+    async def accept_version(self, version: dict) -> int:
+        """Receive a copied object version from the previous stage."""
+        self._hold(
+            new_version(
+                version["entity_id"],
+                self.actor_id,
+                version["timestamp"],
+                version["payload"],
+                parent=version,
+            )
+        )
+        return self._versions()[version["entity_id"]]["version"]
+
+    @actor_method(read_only=True)
+    async def local_info(self, entity_id: str) -> dict:
+        """Answer an information request from purely local state — the
+        §4.3 payoff: no cross-actor message needed."""
+        versions = self._versions()
+        if entity_id not in versions:
+            raise UnknownEntityError(
+                f"{self.actor_id} holds no version of {entity_id}"
+            )
+        return dict(versions[entity_id])
+
+    @actor_method(read_only=True)
+    async def held_entities(self) -> list[str]:
+        """Ids of all entities whose current version lives here."""
+        return sorted(self._versions())
+
+
+class SlaughterhouseB(_VersionHolder):
+    """Model-B slaughterhouse: creates first versions of cut objects."""
+
+    async def slaughter_cow(
+        self, cow_id: str, timestamp: float, cuts: int = 4, weight_kg: float = 20.0
+    ) -> list[str]:
+        """Slaughter a cow; cut objects are local state, not actors."""
+        cow = self.context.actor("Cow", cow_id)
+        provenance = await cow.slaughter(self.actor_id, timestamp)
+        owner = provenance.get("owner_id")
+        if owner:
+            self.context.actor("Farmer", owner).tell("remove_cow", cow_id)
+        cut_ids = []
+        for index in range(cuts):
+            cut_id = cut_id_for(cow_id, index)
+            payload = {
+                "cow_id": cow_id,
+                "slaughterhouse_id": self.actor_id,
+                "weight_kg": weight_kg,
+                "status": "at_slaughterhouse",
+            }
+            self._hold(new_version(cut_id, self.actor_id, timestamp, payload, None))
+            cut_ids.append(cut_id)
+        return cut_ids
+
+    async def ship_cuts(
+        self, cut_ids: list[str], distributor_id: str, timestamp: float
+    ) -> int:
+        """Hand the cuts' versions to a distributor (copy + local release)."""
+        distributor = self.context.actor("DistributorB", distributor_id)
+        for cut_id in cut_ids:
+            version = self._release(cut_id)
+            version = dict(version)
+            version["timestamp"] = timestamp
+            version["payload"] = dict(version["payload"], status="in_transit")
+            await distributor.accept_version(version)
+        return len(cut_ids)
+
+
+class DistributorB(_VersionHolder):
+    """Model-B distributor: updates its local cut versions in transit."""
+
+    async def deliver_cuts(
+        self, cut_ids: list[str], retailer_id: str, timestamp: float
+    ) -> int:
+        """Complete transportation: copy versions onward to the retailer."""
+        retailer = self.context.actor("RetailerB", retailer_id)
+        for cut_id in cut_ids:
+            version = self._release(cut_id)
+            version = dict(version)
+            version["timestamp"] = timestamp
+            version["payload"] = dict(version["payload"], status="at_retailer")
+            await retailer.accept_version(version)
+        return len(cut_ids)
+
+
+class RetailerB(_VersionHolder):
+    """Model-B retailer: transforms local cut versions into product objects."""
+
+    async def create_product(
+        self, cut_ids: list[str], timestamp: float, product_kind: str = "steak-pack"
+    ) -> str:
+        """Compose a product object from locally-held cut versions."""
+        versions = self._versions()
+        missing = [cut_id for cut_id in cut_ids if cut_id not in versions]
+        if missing:
+            raise UnknownEntityError(f"{self.actor_id} does not hold {missing}")
+        index = self.state.setdefault("next_product", 0)
+        self.state["next_product"] = index + 1
+        product_id = product_id_for(self.actor_id, index)
+        cut_versions = []
+        for cut_id in cut_ids:
+            version = versions[cut_id]
+            version["payload"]["status"] = "transformed"
+            version["payload"]["product_id"] = product_id
+            cut_versions.append(dict(version))
+        payload = {
+            "product_kind": product_kind,
+            "cuts": cut_versions,  # embedded provenance: trace is local
+            "sold_at": None,
+        }
+        self._hold(new_version(product_id, self.actor_id, timestamp, payload, None))
+        self.mark_dirty()
+        return product_id
+
+    async def sell_product(self, product_id: str, timestamp: float) -> dict:
+        """Final sale; the product version stays here as the sale record."""
+        versions = self._versions()
+        if product_id not in versions:
+            raise UnknownEntityError(f"{self.actor_id} does not offer {product_id}")
+        payload = versions[product_id]["payload"]
+        if payload.get("sold_at") is not None:
+            raise LifecycleError(f"product {product_id} already sold")
+        payload["sold_at"] = timestamp
+        self.mark_dirty()
+        return {"product_id": product_id, "sold_at": timestamp}
+
+    @actor_method(read_only=True)
+    async def trace_product(self, product_id: str) -> dict:
+        """Consumer trace served entirely from local state (no fan-out)."""
+        versions = self._versions()
+        if product_id not in versions:
+            raise UnknownEntityError(f"{self.actor_id} does not offer {product_id}")
+        version = versions[product_id]
+        return {
+            "product_id": product_id,
+            "retailer_id": self.actor_id,
+            "product_kind": version["payload"]["product_kind"],
+            "sold_at": version["payload"]["sold_at"],
+            "cuts": [dict(cut) for cut in version["payload"]["cuts"]],
+        }
+
+
+MODEL_B_ACTORS = (SlaughterhouseB, DistributorB, RetailerB)

@@ -1,0 +1,23 @@
+"""Ingestion tier: payload adapters and the bounded-queue gateway."""
+
+from .adapters import (
+    AdapterError,
+    AdapterRegistry,
+    BinaryFrameAdapter,
+    CsvLineAdapter,
+    JsonDocumentAdapter,
+    default_registry,
+)
+from .gateway import GatewayOverloadedError, GatewayStats, IngestGateway
+
+__all__ = [
+    "AdapterError",
+    "AdapterRegistry",
+    "BinaryFrameAdapter",
+    "CsvLineAdapter",
+    "GatewayOverloadedError",
+    "GatewayStats",
+    "IngestGateway",
+    "JsonDocumentAdapter",
+    "default_registry",
+]

@@ -1,0 +1,145 @@
+"""The ingestion gateway: a stateless tier between devices and actors.
+
+The paper (§6.1): "we envision that ingestion of sensor data points will be
+based on a REST interface in a production deployment ... As part of data
+ingestion, message queues can be employed to accommodate for bursty
+behavior in sensor measurements."  This module is that tier:
+
+- :class:`IngestGateway` accepts raw device payloads (any registered
+  format), normalizes them through the adapter registry, and enqueues them
+  on a bounded message queue;
+- a pool of dispatcher tasks drains the queue into sensor actors, limiting
+  the concurrency the actor tier sees (back-pressure instead of overload);
+- overflow policy is explicit: ``reject`` (surface an error to the device,
+  like an HTTP 429) or ``drop_oldest`` (favour fresh telemetry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PlatformError
+from ..kernel.scheduler import Scheduler, Task
+from ..kernel.sync import Queue
+from ..shm.platform import ShmPlatform
+from .adapters import AdapterRegistry, NormalizedBatch
+
+
+class GatewayOverloadedError(PlatformError):
+    """The ingest queue is full and the policy is ``reject``."""
+
+
+@dataclass
+class GatewayStats:
+    """Operational counters for the gateway."""
+
+    accepted: int = 0
+    rejected: int = 0
+    dropped: int = 0
+    dispatched: int = 0
+    parse_errors: int = 0
+    max_queue_depth: int = 0
+    formats_seen: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class _Envelope:
+    sensor_id: str
+    batch: NormalizedBatch
+    received_at: float
+
+
+class IngestGateway:
+    """Bounded-queue ingestion front door for an SHM platform."""
+
+    def __init__(
+        self,
+        platform: ShmPlatform,
+        registry: AdapterRegistry,
+        queue_capacity: int = 1024,
+        dispatchers: int = 8,
+        overflow: str = "reject",
+    ) -> None:
+        if overflow not in ("reject", "drop_oldest"):
+            raise ValueError("overflow must be 'reject' or 'drop_oldest'")
+        self.platform = platform
+        self.registry = registry
+        self.overflow = overflow
+        self.stats = GatewayStats()
+        self._scheduler: Scheduler = platform.runtime.scheduler
+        self._queue: Queue[_Envelope] = Queue(self._scheduler)
+        self._capacity = queue_capacity
+        self._dispatcher_count = dispatchers
+        self._dispatchers: list[Task] = []
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the dispatcher pool (idempotent)."""
+        if self._dispatchers:
+            return
+        self._stopping = False
+        self._dispatchers = [
+            self._scheduler.spawn(self._dispatch_loop(), name=f"ingest-dispatch-{i}")
+            for i in range(self._dispatcher_count)
+        ]
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop dispatchers, optionally after draining the queue."""
+        self._stopping = True
+        if drain:
+            while len(self._queue) > 0:
+                await self._scheduler.sleep(0.01)
+        for task in self._dispatchers:
+            task.cancel()
+        self._dispatchers = []
+
+    @property
+    def queue_depth(self) -> int:
+        """Envelopes waiting for a dispatcher."""
+        return len(self._queue)
+
+    # -- the device-facing surface ----------------------------------------------
+
+    def submit(self, sensor_id: str, format_name: str, payload: object) -> bool:
+        """Accept one device upload (the REST POST equivalent).
+
+        Parses synchronously (fail fast back to the device), then enqueues.
+        Returns True if accepted; raises :class:`GatewayOverloadedError`
+        under ``reject`` overflow, returns True after evicting the oldest
+        envelope under ``drop_oldest``.
+        """
+        try:
+            batch = self.registry.parse(format_name, payload)
+        except PlatformError:
+            self.stats.parse_errors += 1
+            raise
+        self.stats.formats_seen[format_name] = (
+            self.stats.formats_seen.get(format_name, 0) + 1
+        )
+        if len(self._queue) >= self._capacity:
+            if self.overflow == "reject":
+                self.stats.rejected += 1
+                raise GatewayOverloadedError(
+                    f"ingest queue full ({self._capacity}); retry later"
+                )
+            self._queue.get()  # drop_oldest: evict the head
+            self.stats.dropped += 1
+        envelope = _Envelope(sensor_id, batch, self._scheduler.now)
+        self._queue.put_nowait(envelope)
+        self.stats.accepted += 1
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._queue))
+        return True
+
+    # -- dispatchers ----------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            envelope = await self._queue.get()
+            try:
+                await self.platform.ingest(envelope.sensor_id, envelope.batch)
+                self.stats.dispatched += 1
+            except PlatformError:
+                # A bad sensor id or channel set: count and keep serving.
+                self.stats.parse_errors += 1

@@ -1,0 +1,202 @@
+"""Futures for the deterministic scheduling kernel.
+
+A :class:`Future` is a one-shot container for a value or an exception that
+coroutines can ``await``.  Unlike :mod:`asyncio` futures it has no loop
+affinity: resolving a future synchronously invokes its done-callbacks, and the
+kernel scheduler uses those callbacks to resume tasks.  This keeps the kernel
+tiny, deterministic and independent of wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Generic, Iterable, TypeVar
+
+from ..errors import CancelledError, InvalidStateError
+
+T = TypeVar("T")
+
+_PENDING = "pending"
+_RESOLVED = "resolved"
+_REJECTED = "rejected"
+_CANCELLED = "cancelled"
+
+
+class Future(Generic[T]):
+    """A one-shot, awaitable result container.
+
+    The future starts *pending* and transitions exactly once to *resolved*
+    (holding a value), *rejected* (holding an exception), or *cancelled*.
+    Done-callbacks added with :meth:`add_done_callback` run synchronously,
+    in registration order, at the moment of transition.
+    """
+
+    __slots__ = ("_state", "_value", "_exception", "_callbacks", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self._state = _PENDING
+        self._value: T | None = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[[Future[T]], None]] = []
+        self.name = name
+
+    # -- state inspection ---------------------------------------------------
+
+    def done(self) -> bool:
+        """Return True once the future is resolved, rejected or cancelled."""
+        return self._state != _PENDING
+
+    def cancelled(self) -> bool:
+        """Return True if the future was cancelled."""
+        return self._state == _CANCELLED
+
+    def result(self) -> T:
+        """Return the value, or raise the stored exception.
+
+        Raises :class:`InvalidStateError` if the future is still pending and
+        :class:`CancelledError` if it was cancelled.
+        """
+        if self._state == _PENDING:
+            raise InvalidStateError(f"future {self.name or id(self)} is not done")
+        if self._state == _CANCELLED:
+            raise CancelledError(self.name or "future cancelled")
+        if self._exception is not None:
+            raise self._exception
+        return self._value  # type: ignore[return-value]
+
+    def exception(self) -> BaseException | None:
+        """Return the stored exception (None when resolved with a value)."""
+        if self._state == _PENDING:
+            raise InvalidStateError(f"future {self.name or id(self)} is not done")
+        if self._state == _CANCELLED:
+            raise CancelledError(self.name or "future cancelled")
+        return self._exception
+
+    # -- state transitions --------------------------------------------------
+
+    def set_result(self, value: T) -> None:
+        """Resolve the future with ``value`` and run callbacks."""
+        self._transition(_RESOLVED, value=value)
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Reject the future with ``exc`` and run callbacks."""
+        if isinstance(exc, type):
+            exc = exc()
+        self._transition(_REJECTED, exception=exc)
+
+    def cancel(self) -> bool:
+        """Cancel the future; returns False if it was already done."""
+        if self.done():
+            return False
+        self._transition(_CANCELLED)
+        return True
+
+    def _transition(
+        self,
+        state: str,
+        value: T | None = None,
+        exception: BaseException | None = None,
+    ) -> None:
+        if self._state != _PENDING:
+            raise InvalidStateError(
+                f"future {self.name or id(self)} already {self._state}"
+            )
+        self._state = state
+        self._value = value
+        self._exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -- callbacks ----------------------------------------------------------
+
+    def add_done_callback(self, callback: Callable[[Future[T]], None]) -> None:
+        """Run ``callback(self)`` when done; immediately if already done."""
+        if self.done():
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    # -- awaitable protocol ---------------------------------------------------
+
+    def __await__(self) -> Generator[Any, None, T]:
+        if not self.done():
+            yield self
+        return self.result()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        detail = self._state
+        if self._state == _REJECTED:
+            detail = f"rejected({self._exception!r})"
+        elif self._state == _RESOLVED:
+            detail = f"resolved({self._value!r})"
+        return f"<Future {self.name or hex(id(self))} {detail}>"
+
+
+def completed(value: T, name: str = "") -> Future[T]:
+    """Return a future already resolved with ``value``."""
+    future: Future[T] = Future(name)
+    future.set_result(value)
+    return future
+
+
+def failed(exc: BaseException, name: str = "") -> Future[Any]:
+    """Return a future already rejected with ``exc``."""
+    future: Future[Any] = Future(name)
+    future.set_exception(exc)
+    return future
+
+
+def all_of(futures: Iterable[Future[Any]], name: str = "all") -> Future[list]:
+    """Combine futures into one resolving to the list of results.
+
+    The combined future rejects with the first exception observed (in
+    completion order) and resolves only when every input resolved.
+    Cancellation of an input counts as rejection with CancelledError.
+    """
+    futures = list(futures)
+    combined: Future[list] = Future(name)
+    if not futures:
+        combined.set_result([])
+        return combined
+    results: list[Any] = [None] * len(futures)
+    remaining = len(futures)
+
+    def make_callback(index: int) -> Callable[[Future[Any]], None]:
+        def callback(done_future: Future[Any]) -> None:
+            nonlocal remaining
+            if combined.done():
+                return
+            try:
+                results[index] = done_future.result()
+            except BaseException as exc:  # noqa: BLE001 - deliberate funnel
+                combined.set_exception(exc)
+                return
+            remaining -= 1
+            if remaining == 0:
+                combined.set_result(results)
+
+        return callback
+
+    for position, future in enumerate(futures):
+        future.add_done_callback(make_callback(position))
+    return combined
+
+
+def any_of(futures: Iterable[Future[Any]], name: str = "any") -> Future[Any]:
+    """Combine futures into one mirroring the first to complete."""
+    futures = list(futures)
+    if not futures:
+        raise ValueError("any_of() requires at least one future")
+    combined: Future[Any] = Future(name)
+
+    def callback(done_future: Future[Any]) -> None:
+        if combined.done():
+            return
+        try:
+            combined.set_result(done_future.result())
+        except BaseException as exc:  # noqa: BLE001 - deliberate funnel
+            combined.set_exception(exc)
+
+    for future in futures:
+        future.add_done_callback(callback)
+    return combined

@@ -1,0 +1,280 @@
+"""Deterministic discrete-event scheduler with a virtual clock.
+
+The scheduler is the heart of the library: actors, networks, storage and
+benchmarks all run on top of it.  Time is *virtual* — it jumps instantly from
+one scheduled event to the next — which makes every run deterministic and
+lets a benchmark simulate minutes of cluster time in well under a second of
+wall-clock time.
+
+Coroutines are driven directly (``coroutine.send``), awaiting
+:class:`~repro.kernel.futures.Future` objects.  There is deliberately no
+dependency on :mod:`asyncio`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Awaitable, Callable, Coroutine, Iterable
+
+from ..errors import CancelledError, DeadlockError, SchedulerStoppedError
+from ..errors import TimeoutError as KernelTimeoutError
+from .futures import Future
+
+
+class Task:
+    """A scheduled coroutine.
+
+    A task repeatedly steps its coroutine; whenever the coroutine awaits a
+    pending future, the task parks until that future completes and then
+    resumes via a scheduler event.  The task itself is awaitable: awaiting it
+    yields the coroutine's return value (or re-raises its exception).
+    """
+
+    __slots__ = ("_coro", "_scheduler", "future", "name", "_waiting_on", "_started")
+
+    def __init__(
+        self,
+        coro: Coroutine[Any, Any, Any],
+        scheduler: "Scheduler",
+        name: str = "",
+    ) -> None:
+        self._coro = coro
+        self._scheduler = scheduler
+        self.future: Future[Any] = Future(name or getattr(coro, "__name__", "task"))
+        self.name = self.future.name
+        self._waiting_on: Future[Any] | None = None
+        self._started = False
+
+    def done(self) -> bool:
+        """Return True when the task's coroutine has finished."""
+        return self.future.done()
+
+    def result(self) -> Any:
+        """Return the coroutine's return value (task must be done)."""
+        return self.future.result()
+
+    def cancel(self) -> bool:
+        """Request cancellation; returns False if the task already finished."""
+        if self.done():
+            return False
+        waiting = self._waiting_on
+        self._waiting_on = None
+        if waiting is not None and not waiting.done():
+            # Detach from the awaited future and inject the cancellation.
+            self._scheduler._call_soon(
+                lambda: self._step(exc=CancelledError(self.name))
+            )
+        elif not self._started:
+            self.future.cancel()
+            self._coro.close()
+        return True
+
+    # -- driving the coroutine ------------------------------------------------
+
+    def _step(self, value: Any = None, exc: BaseException | None = None) -> None:
+        if self.future.done():
+            return
+        self._started = True
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                yielded = self._coro.throw(exc)
+            else:
+                yielded = self._coro.send(value)
+        except StopIteration as stop:
+            self.future.set_result(stop.value)
+            return
+        except CancelledError:
+            if not self.future.done():
+                self.future.cancel()
+            return
+        except BaseException as error:  # noqa: BLE001 - task funnel
+            self.future.set_exception(error)
+            return
+        if not isinstance(yielded, Future):
+            self._step(
+                exc=TypeError(
+                    f"task {self.name!r} awaited a non-kernel awaitable: "
+                    f"{yielded!r}"
+                )
+            )
+            return
+        self._waiting_on = yielded
+        yielded.add_done_callback(self._on_future_done)
+
+    def _on_future_done(self, future: Future[Any]) -> None:
+        if self._waiting_on is not future:
+            return  # detached by cancellation
+        try:
+            value = future.result()
+        except BaseException as error:  # noqa: BLE001 - forwarded into coroutine
+            # Bind through a default: `error` is unbound once the except
+            # block exits, but the lambda runs later.
+            self._scheduler._call_soon(lambda exc=error: self._step(exc=exc))
+            return
+        self._scheduler._call_soon(lambda: self._step(value=value))
+
+    def __await__(self):
+        return self.future.__await__()
+
+    def __del__(self) -> None:
+        # A task abandoned before its first step (e.g. the run ended first)
+        # holds an un-started coroutine; close it quietly instead of letting
+        # garbage collection emit a "never awaited" warning.
+        if not self._started:
+            try:
+                self._coro.close()
+            except Exception:  # pragma: no cover - GC-time best effort
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Task {self.name} done={self.done()}>"
+
+
+class Scheduler:
+    """Virtual-time discrete-event loop.
+
+    Events are callables keyed by ``(time, sequence)``; the sequence number
+    makes ordering of simultaneous events deterministic (FIFO).
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._sequence = 0
+        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._stopped = False
+        self.events_processed = 0
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- event scheduling -----------------------------------------------------
+
+    def call_at(self, when: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run at virtual time ``when``."""
+        if self._stopped:
+            raise SchedulerStoppedError("scheduler has stopped")
+        if when < self._now:
+            when = self._now
+        self._sequence += 1
+        heapq.heappush(self._events, (when, self._sequence, action))
+
+    def call_later(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        self.call_at(self._now + max(0.0, delay), action)
+
+    def _call_soon(self, action: Callable[[], None]) -> None:
+        self.call_at(self._now, action)
+
+    # -- task & future helpers -------------------------------------------------
+
+    def spawn(self, coro: Coroutine[Any, Any, Any], name: str = "") -> Task:
+        """Create a task for ``coro`` and schedule its first step."""
+        task = Task(coro, self, name=name)
+        self._call_soon(task._step)
+        return task
+
+    def sleep(self, delay: float) -> Future[None]:
+        """Return a future resolving ``delay`` virtual seconds from now."""
+        future: Future[None] = Future(f"sleep:{delay:.6f}")
+        self.call_later(delay, lambda: future.done() or future.set_result(None))
+        return future
+
+    def at(self, when: float) -> Future[None]:
+        """Return a future resolving at absolute virtual time ``when``."""
+        future: Future[None] = Future(f"at:{when:.6f}")
+        self.call_at(when, lambda: future.done() or future.set_result(None))
+        return future
+
+    def timeout(self, awaitable: Future[Any] | Task, delay: float) -> Future[Any]:
+        """Wrap an awaitable with a deadline ``delay`` seconds from now.
+
+        The returned future mirrors the awaitable if it finishes in time and
+        rejects with :class:`~repro.errors.TimeoutError` otherwise.
+        """
+        inner = awaitable.future if isinstance(awaitable, Task) else awaitable
+        wrapped: Future[Any] = Future("timeout")
+
+        def on_done(done: Future[Any]) -> None:
+            if wrapped.done():
+                return
+            try:
+                wrapped.set_result(done.result())
+            except BaseException as exc:  # noqa: BLE001
+                wrapped.set_exception(exc)
+
+        def on_deadline() -> None:
+            if not wrapped.done():
+                wrapped.set_exception(
+                    KernelTimeoutError(f"timed out after {delay} virtual seconds")
+                )
+
+        inner.add_done_callback(on_done)
+        self.call_later(delay, on_deadline)
+        return wrapped
+
+    # -- running ----------------------------------------------------------------
+
+    def run_until_complete(self, coro: Coroutine[Any, Any, Any], name: str = "main") -> Any:
+        """Run the event loop until ``coro`` finishes; return its result."""
+        task = self.spawn(coro, name=name)
+        self.run_until(lambda: task.done())
+        if not task.done():
+            raise DeadlockError(
+                f"no more events but task {task.name!r} is still pending "
+                "(a coroutine is awaiting a future nothing will resolve)"
+            )
+        return task.result()
+
+    def run_until(self, predicate: Callable[[], bool]) -> None:
+        """Process events until ``predicate()`` is true or events run out."""
+        while not predicate() and self._events:
+            self._process_next()
+
+    def run_for(self, duration: float) -> None:
+        """Process all events scheduled within ``duration`` seconds from now."""
+        deadline = self._now + duration
+        while self._events and self._events[0][0] <= deadline:
+            self._process_next()
+        self._now = max(self._now, deadline)
+
+    def drain(self) -> None:
+        """Process every remaining event."""
+        while self._events:
+            self._process_next()
+
+    def _process_next(self) -> None:
+        when, _seq, action = heapq.heappop(self._events)
+        self._now = max(self._now, when)
+        self.events_processed += 1
+        action()
+
+    def stop(self) -> None:
+        """Discard pending events and refuse further scheduling."""
+        self._events.clear()
+        self._stopped = True
+
+    # -- structured helpers --------------------------------------------------
+
+    async def gather(self, awaitables: Iterable[Awaitable[Any]]) -> list[Any]:
+        """Await all ``awaitables`` concurrently, preserving order of results."""
+        futures: list[Future[Any]] = []
+        for item in awaitables:
+            if isinstance(item, Task):
+                futures.append(item.future)
+            elif isinstance(item, Future):
+                futures.append(item)
+            else:
+                futures.append(self.spawn(item).future)  # type: ignore[arg-type]
+        from .futures import all_of
+
+        return await all_of(futures)
+
+
+def run(coro: Coroutine[Any, Any, Any]) -> Any:
+    """Convenience: run ``coro`` to completion on a fresh scheduler."""
+    return Scheduler().run_until_complete(coro)

@@ -1,0 +1,20 @@
+"""Simulated network substrate: endpoints, transfers and latency models."""
+
+from .latency import (
+    ZERO_LATENCY,
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from .network import Network, NetworkStats
+
+__all__ = [
+    "ConstantLatency",
+    "LatencyModel",
+    "LogNormalLatency",
+    "Network",
+    "NetworkStats",
+    "UniformLatency",
+    "ZERO_LATENCY",
+]

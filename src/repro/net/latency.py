@@ -1,0 +1,80 @@
+"""Latency models for the simulated network.
+
+A latency model maps one message transfer to a delay in seconds.  Models are
+deliberately simple and composable; all randomness comes from a stream that
+the caller supplies, keeping simulations deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Protocol
+
+
+class LatencyModel(Protocol):
+    """Anything that can produce a per-message delay in seconds."""
+
+    def sample(self, rng: random.Random) -> float:
+        """Return the delay, in seconds, for one message."""
+        ...  # pragma: no cover - protocol
+
+
+class ConstantLatency:
+    """Always the same delay — useful for tests and tight calibration."""
+
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("latency must be >= 0")
+        self.seconds = seconds
+
+    def sample(self, rng: random.Random) -> float:
+        return self.seconds
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.seconds})"
+
+
+class UniformLatency:
+    """Uniform jitter in ``[low, high]`` — a plain LAN approximation."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ValueError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class LogNormalLatency:
+    """Heavy-tailed latency, parameterized by median and tail dispersion.
+
+    Real datacenter RPC latency is famously right-skewed; a log-normal with a
+    modest ``sigma`` captures the occasional slow transfer without making the
+    common case noisy.
+    """
+
+    def __init__(self, median: float, sigma: float = 0.25) -> None:
+        if median <= 0:
+            raise ValueError("median must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        self.median = median
+        self.sigma = sigma
+        self._mu = math.log(median)
+
+    def sample(self, rng: random.Random) -> float:
+        if self.sigma == 0:
+            return self.median
+        return rng.lognormvariate(self._mu, self.sigma)
+
+    def __repr__(self) -> str:
+        return f"LogNormalLatency(median={self.median}, sigma={self.sigma})"
+
+
+ZERO_LATENCY = ConstantLatency(0.0)

@@ -1,0 +1,102 @@
+"""A simulated message network between named endpoints.
+
+The network knows three kinds of paths and charges a (possibly stochastic)
+latency for each transfer:
+
+- ``loopback``: sender and receiver are the same endpoint (same silo);
+- ``lan``: two distinct endpoints in the cluster (silo to silo, or the
+  benchmarking client to a silo);
+- custom per-pair overrides for asymmetric topologies.
+
+The actor runtime funnels every remote message through
+:meth:`Network.transfer`, which is what makes placement strategies
+(§5 of the paper: random vs. prefer-local) observable in benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..kernel.rng import RngRegistry
+from ..kernel.scheduler import Scheduler
+from .latency import ConstantLatency, LatencyModel, ZERO_LATENCY
+
+
+@dataclass
+class NetworkStats:
+    """Counters the benchmarks read after a run."""
+
+    messages: int = 0
+    loopback_messages: int = 0
+    remote_messages: int = 0
+    total_latency: float = 0.0
+    per_endpoint_sent: dict[str, int] = field(default_factory=dict)
+
+    def record(self, source: str, loopback: bool, latency: float) -> None:
+        self.messages += 1
+        if loopback:
+            self.loopback_messages += 1
+        else:
+            self.remote_messages += 1
+        self.total_latency += latency
+        self.per_endpoint_sent[source] = self.per_endpoint_sent.get(source, 0) + 1
+
+
+class Network:
+    """Latency-modeled transfers between registered endpoints."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rng: RngRegistry | None = None,
+        loopback: LatencyModel | None = None,
+        lan: LatencyModel | None = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._rng = (rng or RngRegistry(0)).stream("network")
+        self.loopback_model = loopback or ZERO_LATENCY
+        self.lan_model = lan or ConstantLatency(0.0005)
+        self._endpoints: set[str] = set()
+        self._overrides: dict[tuple[str, str], LatencyModel] = {}
+        self.stats = NetworkStats()
+
+    def register(self, endpoint: str) -> None:
+        """Add an endpoint; transfers to unknown endpoints are rejected."""
+        self._endpoints.add(endpoint)
+
+    def unregister(self, endpoint: str) -> None:
+        """Remove an endpoint (a silo leaving the cluster)."""
+        self._endpoints.discard(endpoint)
+
+    def knows(self, endpoint: str) -> bool:
+        """Return True if ``endpoint`` is registered."""
+        return endpoint in self._endpoints
+
+    def set_path_latency(self, source: str, target: str, model: LatencyModel) -> None:
+        """Override the latency model for the directed pair (source, target)."""
+        self._overrides[(source, target)] = model
+
+    def latency_for(self, source: str, target: str) -> float:
+        """Sample the delay for one message from ``source`` to ``target``."""
+        override = self._overrides.get((source, target))
+        if override is not None:
+            return override.sample(self._rng)
+        if source == target:
+            return self.loopback_model.sample(self._rng)
+        return self.lan_model.sample(self._rng)
+
+    async def transfer(self, source: str, target: str) -> None:
+        """Delay the caller by one message latency and record stats.
+
+        Raises :class:`KeyError` if either endpoint is unknown — an unknown
+        target means cluster membership and the caller's routing disagree,
+        which should fail loudly rather than silently deliver.
+        """
+        if source not in self._endpoints:
+            raise KeyError(f"unknown source endpoint {source!r}")
+        if target not in self._endpoints:
+            raise KeyError(f"unknown target endpoint {target!r}")
+        delay = self.latency_for(source, target)
+        self.stats.record(source, source == target, delay)
+        if delay > 0:
+            await self._scheduler.sleep(delay)

@@ -1,0 +1,340 @@
+"""Activations: live instances of virtual actors.
+
+An activation owns the actor instance, its mailbox and its message pump.
+The pump enforces Orleans-style *turn-based* concurrency: one message runs
+to completion (including its awaits) before the next is dequeued, unless the
+actor class opted into reentrancy.  Every message execution charges its CPU
+cost to the hosting silo, which is how actor work contends for simulated
+hardware.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..errors import (
+    ActorDeactivatedError,
+    ActorMethodError,
+    CancelledError,
+    ReentrancyError,
+)
+from ..kernel.scheduler import Task
+from ..kernel.sync import Event, Queue
+from ..storage.serde import snapshot
+from .actor import Actor, ActorContext, method_options
+from .key import ActorKey
+from .messages import Invocation
+from .persistence import StateCell, WritePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runtime import AodbRuntime
+    from .silo import Silo
+
+_CLOSE = object()
+
+
+class Activation:
+    """One in-memory incarnation of a virtual actor."""
+
+    def __init__(
+        self,
+        runtime: "AodbRuntime",
+        actor_class: type[Actor],
+        key: ActorKey,
+        silo: "Silo",
+        predecessor_closed: Event | None = None,
+    ) -> None:
+        self.runtime = runtime
+        self._predecessor_closed = predecessor_closed
+        self.actor_class = actor_class
+        self.key = key
+        self.silo = silo
+        context = ActorContext(runtime, key, silo.silo_id)
+        context.activation = self  # type: ignore[attr-defined]
+        self.instance = actor_class(context)
+        capacity = (
+            actor_class.mailbox_capacity
+            if actor_class.mailbox_capacity is not None
+            else runtime.config.mailbox_capacity
+        )
+        self.mailbox: Queue[Any] = Queue(runtime.scheduler, maxsize=capacity)
+        self.closing = False
+        self.closed = Event(runtime.scheduler)
+        self.broken: BaseException | None = None
+        self.active_chain: tuple[str, ...] = ()
+        self.last_used = runtime.scheduler.now
+        self.messages_handled = 0
+        self._inflight = 0
+        self._idle_event = Event(runtime.scheduler)
+        self._idle_event.set()
+        self._timers: dict[str, Task] = {}
+        self._pump_task = runtime.scheduler.spawn(
+            self._pump(), name=f"pump:{key.qualified()}"
+        )
+
+    # -- enqueue ---------------------------------------------------------------
+
+    def enqueue(self, invocation: Invocation) -> None:
+        """Queue one invocation; raises if the activation is shutting down.
+
+        A message whose call chain already passes through this actor would
+        deadlock a busy non-reentrant activation (the classic A→B→A cycle):
+        it is either executed interleaved (``allow_chain_reentrancy``,
+        Orleans' call-chain reentrancy) or rejected loudly.
+        """
+        if self.closing:
+            raise ActorDeactivatedError(self.key.qualified())
+        if (
+            not self.instance.reentrant
+            and self._inflight > 0
+            and self.key.qualified() in invocation.chain
+        ):
+            if getattr(self.actor_class, "allow_chain_reentrancy", False):
+                invocation.enqueued_at = self.runtime.scheduler.now
+                self._inflight += 1
+                self._idle_event.clear()
+                self.runtime.scheduler.spawn(
+                    self._handle_tracked(invocation),
+                    name=f"reentrant:{invocation.describe()}",
+                )
+                return
+            raise ReentrancyError(
+                f"{invocation.describe()} would deadlock: call chain "
+                f"{' -> '.join(invocation.chain)} re-enters busy "
+                f"non-reentrant actor {self.key}"
+            )
+        invocation.enqueued_at = self.runtime.scheduler.now
+        self.mailbox.put_nowait(invocation)
+
+    @property
+    def busy(self) -> bool:
+        """True while messages are queued or executing."""
+        return bool(len(self.mailbox)) or self._inflight > 0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def _start(self) -> None:
+        if self._predecessor_closed is not None:
+            # A previous activation of this grain is still persisting its
+            # state; wait so our state load observes its final flush.
+            await self._predecessor_closed.wait()
+        if self.runtime.config.activation_cost > 0:
+            await self.silo.cpu.consume(self.runtime.config.activation_cost)
+        if self.actor_class.durable:
+            cell = StateCell(self.key, self.runtime.grain_storage)
+            await cell.load()
+            self.instance._attach_state_cell(cell)
+            if self.actor_class.write_policy is WritePolicy.INTERVAL:
+                self.register_timer(
+                    "__state_flush__",
+                    self.actor_class.write_interval_seconds,
+                    "__flush_state__",
+                )
+        await self.instance.on_activate()
+
+    async def _pump(self) -> None:
+        try:
+            await self._start()
+        except BaseException as exc:  # noqa: BLE001 - surface via replies
+            self.broken = exc
+            self.closing = True
+            self._fail_pending(exc)
+            self.runtime._activation_failed(self, exc)
+            self.closed.set()
+            return
+        while True:
+            message = await self.mailbox.get()
+            if message is _CLOSE:
+                break
+            if self.instance.reentrant:
+                self._inflight += 1
+                self._idle_event.clear()
+                self.runtime.scheduler.spawn(
+                    self._handle_tracked(message),
+                    name=f"handle:{message.describe()}",
+                )
+            else:
+                self._inflight += 1
+                self._idle_event.clear()
+                try:
+                    await self._handle(message)
+                except (GeneratorExit, CancelledError):
+                    raise  # the pump itself is being torn down
+                except BaseException as exc:  # noqa: BLE001 - pump must live
+                    # Nothing _handle raises should be able to kill the
+                    # mailbox pump; fail the message, keep serving.
+                    self.runtime._reply(message, None, exc, self.silo.silo_id)
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle_event.set()
+        # Drain-and-close: wait for reentrant handlers still in flight.
+        if self._inflight > 0:
+            await self._idle_event.wait()
+        await self._finalize()
+
+    async def _handle_tracked(self, message: Invocation) -> None:
+        try:
+            await self._handle(message)
+        except (GeneratorExit, CancelledError):
+            raise  # activation teardown
+        except BaseException as exc:  # noqa: BLE001 - keep serving
+            self.runtime._reply(message, None, exc, self.silo.silo_id)
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle_event.set()
+
+    async def _handle(self, invocation: Invocation) -> None:
+        self.last_used = self.runtime.scheduler.now
+        invocation.started_at = self.last_used
+        method = getattr(self.instance, invocation.method, None)
+        options = {"cost": None, "read_only": False}
+        error: BaseException | None = None
+        result: Any = None
+        if invocation.method == "__flush_state__":
+            try:
+                await self._flush_if_dirty()
+            except Exception as exc:  # noqa: BLE001 - storage failure
+                # A timer-driven flush failed (e.g. storage throttling):
+                # record it; the state stays dirty and the next interval
+                # retries.
+                self.runtime._reply(invocation, None, exc, self.silo.silo_id)
+            return
+        if invocation.method == "__txn_snapshot__":
+            # Transactional undo logging: hand the coordinator an isolated
+            # copy of this actor's transactional state.
+            self.runtime._reply(
+                invocation, snapshot(self.instance.state), None, self.silo.silo_id
+            )
+            return
+        if invocation.method == "__txn_restore__":
+            document = invocation.args[0]
+            self.instance.state.clear()
+            self.instance.state.update(document)
+            self.instance.mark_dirty()
+            self.runtime._reply(invocation, True, None, self.silo.silo_id)
+            return
+        if method is None or invocation.method.startswith("_"):
+            error = ActorMethodError(
+                f"{self.actor_class.__name__} has no method {invocation.method!r}"
+            )
+        else:
+            options = method_options(getattr(self.actor_class, invocation.method, method))
+            cost = self.runtime.config.method_costs.get(
+                (self.key.type_name, invocation.method)
+            )
+            if cost is None:
+                cost = options["cost"]
+            if cost is None:
+                cost = (
+                    self.actor_class.default_method_cost
+                    if self.actor_class.default_method_cost is not None
+                    else self.runtime.config.default_method_cost
+                )
+            if cost > 0:
+                await self.silo.cpu.consume(cost)
+            if not self.instance.reentrant:
+                # Sub-calls made by this turn carry the extended chain, so
+                # cycles back into this (busy) actor are detectable.
+                self.active_chain = invocation.chain + (self.key.qualified(),)
+            try:
+                result = await method(*invocation.args, **invocation.kwargs)
+            except GeneratorExit:
+                raise  # activation teardown, not an application error
+            except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+                error = exc
+            finally:
+                self.active_chain = ()
+        self.messages_handled += 1
+        self.last_used = self.runtime.scheduler.now
+        if (
+            error is None
+            and self.actor_class.durable
+            and self.actor_class.write_policy is WritePolicy.WRITE_THROUGH
+            and not options["read_only"]
+        ):
+            self.instance.mark_dirty()
+            try:
+                await self._flush_if_dirty()
+            except Exception as exc:  # noqa: BLE001 - surface to the caller
+                # Write-through means "durable when acknowledged": if the
+                # flush fails (storage throttling, conditional conflict),
+                # the caller must see the failure, not a false ack.
+                error = exc
+        self.runtime._reply(invocation, result, error, self.silo.silo_id)
+
+    async def _flush_if_dirty(self) -> None:
+        cell = self.instance._state_cell
+        if cell is not None and cell.dirty:
+            await cell.flush()
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        for message in self.mailbox.drain_nowait():
+            if message is not _CLOSE and message.reply is not None:
+                if not message.reply.done():
+                    message.reply.set_exception(exc)
+
+    async def close(self) -> None:
+        """Gracefully stop: drain the mailbox, persist, run on_deactivate."""
+        if self.closing:
+            await self.closed.wait()
+            return
+        self.closing = True
+        self.mailbox.put_nowait(_CLOSE)
+        await self.closed.wait()
+
+    async def _finalize(self) -> None:
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        try:
+            await self.instance.on_deactivate()
+            if (
+                self.actor_class.durable
+                and self.actor_class.write_policy is not WritePolicy.MANUAL
+            ):
+                await self._flush_if_dirty()
+        except BaseException as exc:  # noqa: BLE001 - report, never hang
+            self.runtime._activation_failed(self, exc)
+        finally:
+            self.closed.set()
+
+    # -- timers ---------------------------------------------------------------------
+
+    def register_timer(
+        self, name: str, period: float, method: str, *args: Any
+    ) -> None:
+        """Run ``method`` through the mailbox every ``period`` seconds."""
+        if period <= 0:
+            raise ValueError("timer period must be positive")
+        self.cancel_timer(name)
+
+        async def tick() -> None:
+            while not self.closing:
+                await self.runtime.scheduler.sleep(period)
+                if self.closing:
+                    return
+                invocation = Invocation(
+                    target=self.key,
+                    method=method,
+                    args=tuple(snapshot(arg) for arg in args),
+                    caller_endpoint=self.silo.silo_id,
+                    one_way=True,
+                )
+                try:
+                    self.enqueue(invocation)
+                except ActorDeactivatedError:
+                    return
+
+        self._timers[name] = self.runtime.scheduler.spawn(
+            tick(), name=f"timer:{self.key}:{name}"
+        )
+
+    def cancel_timer(self, name: str) -> bool:
+        """Cancel a registered timer; returns True if it existed."""
+        timer = self._timers.pop(name, None)
+        if timer is None:
+            return False
+        timer.cancel()
+        return True

@@ -1,0 +1,236 @@
+"""Actor base class, method decorator and per-activation context.
+
+User actors subclass :class:`Actor`, declare behaviour as ``async`` methods
+and (optionally) tune them with :func:`actor_method`.  Class-level attributes
+declare the actor's runtime contract:
+
+``reentrant``
+    Whether multiple messages may interleave inside one activation
+    (Orleans grains default to non-reentrant turn-based execution).
+``durable``
+    Whether the actor has persistent state (``self.state``) loaded from and
+    flushed to grain storage.
+``write_policy`` / ``write_interval_seconds``
+    When that state is flushed (see :mod:`repro.runtime.persistence`).
+``placement``
+    Name of the placement strategy for new activations
+    (``random`` / ``prefer_local`` / ``hash`` / ``pinned``).
+``indexed_attributes``
+    State attributes maintained in the AODB secondary indexes
+    (see :mod:`repro.aodb.index`).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..errors import ActorMethodError
+from .key import ActorKey
+from .persistence import StateCell, WritePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .reference import ActorRef
+    from .runtime import AodbRuntime
+
+_METHOD_MARKER = "_actor_method_options"
+
+
+def actor_method(
+    cost: float | None = None,
+    read_only: bool = False,
+) -> Callable[[Callable], Callable]:
+    """Annotate an actor method with runtime options.
+
+    ``cost`` is the simulated CPU charge (core-seconds) for one execution;
+    when omitted the runtime default applies.  ``read_only`` marks methods
+    that do not mutate state — write-through persistence skips flushing
+    after them.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        if not inspect.iscoroutinefunction(func):
+            raise TypeError(
+                f"actor method {func.__name__!r} must be 'async def'"
+            )
+        setattr(func, _METHOD_MARKER, {"cost": cost, "read_only": read_only})
+        return func
+
+    return decorate
+
+
+def method_options(func: Callable) -> dict[str, Any]:
+    """Return the options attached by :func:`actor_method` (or defaults)."""
+    return getattr(func, _METHOD_MARKER, {"cost": None, "read_only": False})
+
+
+class ActorContext:
+    """Everything an activation may ask of its runtime."""
+
+    def __init__(self, runtime: "AodbRuntime", key: ActorKey, silo_id: str) -> None:
+        self.runtime = runtime
+        self.key = key
+        self.silo_id = silo_id
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.runtime.scheduler.now
+
+    def actor(self, type_name: str, actor_id: str) -> "ActorRef":
+        """A reference to another actor, calling from this silo.
+
+        The reference carries the current call chain, so cycles through
+        non-reentrant actors are detected instead of deadlocking.
+        """
+        chain = getattr(self.activation, "active_chain", ())  # type: ignore[attr-defined]
+        return self.runtime.ref(
+            type_name, actor_id, caller_endpoint=self.silo_id, chain=chain
+        )
+
+    def register_timer(self, name: str, period: float, method: str, *args: Any) -> None:
+        """Run ``method`` through this actor's mailbox every ``period`` s.
+
+        Timers live and die with the activation (use reminders for timers
+        that must survive deactivation).
+        """
+        self.activation.register_timer(name, period, method, *args)  # type: ignore[attr-defined]
+
+    def cancel_timer(self, name: str) -> bool:
+        """Cancel an activation-scoped timer."""
+        return self.activation.cancel_timer(name)  # type: ignore[attr-defined]
+
+    def register_reminder(self, name: str, period: float) -> None:
+        """Register a durable reminder; delivered to ``receive_reminder``."""
+        self.runtime.system_store.register_reminder(
+            self.key.qualified(), name, period
+        )
+
+    def unregister_reminder(self, name: str) -> bool:
+        """Remove a durable reminder."""
+        return self.runtime.system_store.unregister_reminder(
+            self.key.qualified(), name
+        )
+
+
+class Actor:
+    """Base class for all virtual actors.
+
+    Instances are *activations*: created on demand by the runtime, fed one
+    message at a time, and collected when idle.  Application state lives in
+    instance attributes; durable actors additionally get ``self.state``, a
+    dict persisted through the grain storage provider.
+    """
+
+    reentrant: bool = False
+    # Non-reentrant actors reject messages whose call chain re-enters them
+    # (a guaranteed deadlock); set this to execute such cycles interleaved
+    # instead (Orleans' call-chain reentrancy).
+    allow_chain_reentrancy: bool = False
+    durable: bool = False
+    write_policy: WritePolicy = WritePolicy.ON_DEACTIVATE
+    write_interval_seconds: float = 60.0
+    placement: str | None = None
+    indexed_attributes: tuple[str, ...] = ()
+    default_method_cost: float | None = None
+    mailbox_capacity: int | None = None
+
+    def __init__(self, context: ActorContext) -> None:
+        self.context = context
+        self.state: dict[str, Any] = {}
+        self._state_cell: StateCell | None = None
+
+    # -- identity helpers ------------------------------------------------------
+
+    @property
+    def key(self) -> ActorKey:
+        """This actor's identity."""
+        return self.context.key
+
+    @property
+    def actor_id(self) -> str:
+        """Shorthand for the id part of the key."""
+        return self.context.key.actor_id
+
+    # -- lifecycle hooks --------------------------------------------------------
+
+    async def on_activate(self) -> None:
+        """Called after construction (and state load, if durable)."""
+
+    async def on_deactivate(self) -> None:
+        """Called before the activation is collected or the silo stops."""
+
+    async def receive_reminder(self, name: str) -> None:
+        """Called when a durable reminder fires (override to use)."""
+
+    # -- persistence ----------------------------------------------------------
+
+    def _attach_state_cell(self, cell: StateCell) -> None:
+        self._state_cell = cell
+        self.state = cell.document
+
+    def mark_dirty(self) -> None:
+        """Note that ``self.state`` changed (flushed per the write policy)."""
+        if self._state_cell is not None:
+            self._state_cell.dirty = True
+
+    async def write_state(self) -> None:
+        """Force the state document to grain storage now."""
+        if self._state_cell is None:
+            raise ActorMethodError(
+                f"{type(self).__name__} is not durable; set durable=True"
+            )
+        self._state_cell.dirty = True
+        await self._state_cell.flush()
+
+    async def clear_state(self) -> None:
+        """Delete the persisted state document."""
+        if self._state_cell is not None:
+            await self._state_cell.clear()
+            self.state = self._state_cell.document
+
+    # -- indexing (AODB feature) -----------------------------------------------
+
+    def set_indexed(self, attr: str, value: Any) -> None:
+        """Set ``self.state[attr]`` and eagerly maintain its secondary index.
+
+        Requires ``attr`` to be listed in ``indexed_attributes`` and an
+        :class:`~repro.aodb.database.AodbDatabase` layered on the runtime.
+        """
+        if attr not in self.indexed_attributes:
+            raise ActorMethodError(
+                f"{type(self).__name__}.{attr} is not declared in "
+                "indexed_attributes"
+            )
+        old_value = self.state.get(attr)
+        self.state[attr] = value
+        self.mark_dirty()
+        database = self.context.runtime.database
+        if database is not None:
+            database.indexes.update(self.key, attr, old_value, value)
+
+    # -- introspection ------------------------------------------------------------
+
+    @classmethod
+    def exposed_methods(cls) -> dict[str, Callable]:
+        """Public async methods callable through references."""
+        exposed: dict[str, Callable] = {}
+        for name in dir(cls):
+            if name.startswith("_"):
+                continue
+            if name in _NON_EXPOSED:
+                continue
+            attr = getattr(cls, name)
+            if inspect.iscoroutinefunction(attr):
+                exposed[name] = attr
+        return exposed
+
+
+_NON_EXPOSED = frozenset(
+    {
+        "on_activate",
+        "on_deactivate",
+        "write_state",
+        "clear_state",
+    }
+)

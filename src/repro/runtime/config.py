@@ -1,0 +1,71 @@
+"""Runtime configuration.
+
+One :class:`RuntimeConfig` instance parameterizes an
+:class:`~repro.runtime.runtime.AodbRuntime`: default CPU costs, activation
+lifecycle knobs, and messaging behaviour.  The benchmark calibration
+(``repro.bench.calibration``) builds its configs on top of these defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RuntimeConfig:
+    """Tunable parameters of the actor runtime.
+
+    CPU costs are in *core-seconds* of simulated work and are consumed on
+    the hosting silo's :class:`~repro.kernel.resources.CpuResource`.
+    """
+
+    # Cost charged for executing one actor method when neither the method
+    # decorator nor the actor class overrides it.
+    default_method_cost: float = 0.0001
+
+    # Per-deployment cost overrides: (actor type name, method name) -> cost.
+    # Takes precedence over decorator and class defaults; the benchmark
+    # calibration uses this to pin the paper's measured service times
+    # without touching application classes.
+    method_costs: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    # Cost of constructing a fresh activation (allocation, ctor, state load
+    # dispatch) — charged on the hosting silo.
+    activation_cost: float = 0.0005
+
+    # Idle-collection: an activation untouched for `idle_timeout` seconds is
+    # deactivated by the collector, which scans every `collection_interval`.
+    idle_timeout: float = 600.0
+    collection_interval: float = 60.0
+
+    # Mailbox capacity per activation (0 = unbounded).  Bounded mailboxes
+    # surface overload as MailboxOverflowError instead of hiding it.
+    mailbox_capacity: int = 0
+
+    # Deep-copy message payloads and replies at actor boundaries.  Always on
+    # in tests; benches may disable it to shave harness overhead after the
+    # isolation property has been separately verified.
+    copy_messages: bool = True
+
+    # Default placement strategy name for actor types that do not choose.
+    default_placement: str = "random"
+
+    # Reminder pump granularity (virtual seconds between due-checks).
+    reminder_tick: float = 60.0
+
+    # Master seed for all runtime randomness (placement, jitter).
+    seed: int = 0
+
+    # Free-form labels, surfaced in membership metadata.
+    labels: dict[str, str] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Raise ValueError on nonsensical settings."""
+        if self.default_method_cost < 0 or self.activation_cost < 0:
+            raise ValueError("CPU costs must be >= 0")
+        if self.idle_timeout <= 0 or self.collection_interval <= 0:
+            raise ValueError("idle collection intervals must be positive")
+        if self.mailbox_capacity < 0:
+            raise ValueError("mailbox capacity must be >= 0")
+        if self.reminder_tick <= 0:
+            raise ValueError("reminder tick must be positive")

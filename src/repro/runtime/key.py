@@ -1,0 +1,44 @@
+"""Actor identity.
+
+A virtual actor is identified by ``(type name, actor id)`` — e.g.
+``("SensorChannel", "org-1/sensor-3/ch-0")``.  Keys are values: hashable,
+comparable, and convertible to/from the ``"Type/id"`` string form used for
+storage keys and reminders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ActorKey:
+    """Identity of a virtual actor (never of a particular activation)."""
+
+    type_name: str
+    actor_id: str
+
+    def __post_init__(self) -> None:
+        if not self.type_name or "/" in self.type_name:
+            raise ValueError(f"invalid actor type name {self.type_name!r}")
+        if self.actor_id == "":
+            raise ValueError("actor id must be non-empty")
+
+    def qualified(self) -> str:
+        """The canonical ``Type/id`` string form."""
+        return f"{self.type_name}/{self.actor_id}"
+
+    @classmethod
+    def parse(cls, text: str) -> "ActorKey":
+        """Parse the ``Type/id`` form produced by :meth:`qualified`."""
+        type_name, separator, actor_id = text.partition("/")
+        if not separator:
+            raise ValueError(f"cannot parse actor key {text!r}")
+        return cls(type_name, actor_id)
+
+    def storage_key(self) -> str:
+        """Key under which this actor's state lives in grain storage."""
+        return f"state/{self.qualified()}"
+
+    def __str__(self) -> str:
+        return self.qualified()

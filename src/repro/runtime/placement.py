@@ -1,0 +1,120 @@
+"""Activation placement strategies.
+
+When a message targets a virtual actor with no current activation, the
+runtime must choose a silo.  Orleans defaults to random placement ("adequate
+for most use cases since it will spread load") and recommends prefer-local
+for chatty neighbours; the paper's SHM deployment switched sensor channels
+and aggregators to prefer-local (§5).  All three strategies used in the
+paper's discussion are implemented, plus a stable-hash strategy that gives
+deterministic spreading without randomness.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Protocol, Sequence
+
+from .key import ActorKey
+
+
+class PlacementStrategy(Protocol):
+    """Chooses a hosting silo for a new activation."""
+
+    def choose(
+        self,
+        key: ActorKey,
+        caller_endpoint: str,
+        active_silos: Sequence[str],
+    ) -> str:
+        """Return the silo id to host ``key``; ``active_silos`` is non-empty."""
+        ...  # pragma: no cover - protocol
+
+
+class RandomPlacement:
+    """Uniformly random placement over the active silos."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def choose(
+        self, key: ActorKey, caller_endpoint: str, active_silos: Sequence[str]
+    ) -> str:
+        return active_silos[self._rng.randrange(len(active_silos))]
+
+
+class PreferLocalPlacement:
+    """Place on the caller's silo when the caller is a silo.
+
+    Calls arriving from outside the cluster (client gateways) fall back to
+    the wrapped strategy.
+    """
+
+    def __init__(self, fallback: PlacementStrategy) -> None:
+        self._fallback = fallback
+
+    def choose(
+        self, key: ActorKey, caller_endpoint: str, active_silos: Sequence[str]
+    ) -> str:
+        if caller_endpoint in active_silos:
+            return caller_endpoint
+        return self._fallback.choose(key, caller_endpoint, active_silos)
+
+
+class HashPlacement:
+    """Stable placement by CRC of the actor key.
+
+    The same key always lands on the same silo for a fixed membership, which
+    keeps partitioned workloads (one organization per silo) reproducible.
+    """
+
+    def choose(
+        self, key: ActorKey, caller_endpoint: str, active_silos: Sequence[str]
+    ) -> str:
+        digest = zlib.crc32(key.qualified().encode("utf-8"))
+        return active_silos[digest % len(active_silos)]
+
+
+class PinnedPlacement:
+    """Explicit key→silo pinning with a fallback for unpinned keys.
+
+    Benchmarks use this to reproduce the paper's partitioning of
+    organizations across servers exactly.
+    """
+
+    def __init__(self, fallback: PlacementStrategy) -> None:
+        self._fallback = fallback
+        self._pins: dict[str, str] = {}
+        self._prefix_pins: list[tuple[str, str]] = []
+
+    def pin(self, key: ActorKey, silo_id: str) -> None:
+        """Pin one specific actor key to a silo."""
+        self._pins[key.qualified()] = silo_id
+
+    def pin_prefix(self, qualified_prefix: str, silo_id: str) -> None:
+        """Pin every key whose ``Type/id`` starts with the given prefix."""
+        self._prefix_pins.append((qualified_prefix, silo_id))
+
+    def choose(
+        self, key: ActorKey, caller_endpoint: str, active_silos: Sequence[str]
+    ) -> str:
+        qualified = key.qualified()
+        pinned = self._pins.get(qualified)
+        if pinned is not None and pinned in active_silos:
+            return pinned
+        for prefix, silo_id in self._prefix_pins:
+            if qualified.startswith(prefix) and silo_id in active_silos:
+                return silo_id
+        return self._fallback.choose(key, caller_endpoint, active_silos)
+
+
+def build_strategies(rng: random.Random) -> dict[str, PlacementStrategy]:
+    """The standard strategy registry, keyed by the names actors use."""
+    random_strategy = RandomPlacement(rng)
+    pinned = PinnedPlacement(fallback=random_strategy)
+    return {
+        "random": random_strategy,
+        "prefer_local": PreferLocalPlacement(fallback=random_strategy),
+        "hash": HashPlacement(),
+        "pinned": pinned,
+    }

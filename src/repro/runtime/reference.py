@@ -1,0 +1,92 @@
+"""Actor references — the client-visible face of a virtual actor.
+
+A reference never dangles: it names an actor that the runtime will activate
+on first use.  Attribute access produces remote-method stubs, so calls read
+naturally::
+
+    cow = runtime.ref("Cow", "dk-0042")
+    location = await cow.current_location()
+    cow.tell("record_reading", reading)     # one-way, fire-and-forget
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..kernel.futures import Future
+from .key import ActorKey
+from .messages import DeliveryReceipt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runtime import AodbRuntime
+
+
+class RemoteMethod:
+    """A bound stub for one method of one actor reference."""
+
+    __slots__ = ("_ref", "_name")
+
+    def __init__(self, ref: "ActorRef", name: str) -> None:
+        self._ref = ref
+        self._name = name
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Future[Any]:
+        return self._ref.ask(self._name, *args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RemoteMethod {self._ref.key}.{self._name}>"
+
+
+class ActorRef:
+    """A location-transparent handle to a virtual actor."""
+
+    __slots__ = ("_runtime", "key", "caller_endpoint", "chain")
+
+    def __init__(
+        self,
+        runtime: "AodbRuntime",
+        key: ActorKey,
+        caller_endpoint: str,
+        chain: tuple[str, ...] = (),
+    ) -> None:
+        self._runtime = runtime
+        self.key = key
+        self.caller_endpoint = caller_endpoint
+        self.chain = chain
+
+    def ask(self, method: str, *args: Any, **kwargs: Any) -> Future[Any]:
+        """Invoke ``method`` and return a future for its result."""
+        return self._runtime.send(
+            self.key,
+            method,
+            args,
+            kwargs,
+            caller_endpoint=self.caller_endpoint,
+            one_way=False,
+            chain=self.chain,
+        )
+
+    def tell(self, method: str, *args: Any, **kwargs: Any) -> DeliveryReceipt:
+        """Invoke ``method`` one-way; returns an enqueue receipt, not a result."""
+        return self._runtime.send_one_way(
+            self.key,
+            method,
+            args,
+            kwargs,
+            caller_endpoint=self.caller_endpoint,
+            chain=self.chain,
+        )
+
+    def __getattr__(self, name: str) -> RemoteMethod:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return RemoteMethod(self, name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ActorRef) and other.key == self.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:
+        return f"<ActorRef {self.key}>"

@@ -1,0 +1,549 @@
+"""The actor-oriented database runtime facade.
+
+:class:`AodbRuntime` ties the substrates together: it registers actor types,
+manages the cluster of silos, routes messages (placement → network transfer
+→ mailbox), runs the idle-activation collector and the durable-reminder
+pump, and exposes the statistics benchmarks read.
+
+The public surface an application touches is small::
+
+    runtime = AodbRuntime(scheduler)
+    runtime.register_actor(Cow)
+    runtime.add_silo("silo-1", cores=4)
+    cow = runtime.ref("Cow", "dk-0042")
+    await cow.record_reading(reading)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..errors import (
+    MailboxOverflowError,
+    ReentrancyError,
+    SiloUnavailableError,
+    UnknownActorTypeError,
+)
+from ..kernel.futures import Future
+from ..kernel.rng import RngRegistry
+from ..kernel.scheduler import Scheduler, Task
+from ..net.network import Network
+from ..storage.kv import InMemoryKVStore, KeyValueStore
+from ..storage.serde import snapshot
+from ..storage.system_store import SystemStore
+from .activation import Activation
+from .actor import Actor
+from .config import RuntimeConfig
+from .directory import GrainDirectory
+from .key import ActorKey
+from .messages import DeliveryReceipt, Invocation
+from .placement import PinnedPlacement, build_strategies
+from .reference import ActorRef
+from .silo import Silo
+
+CLIENT_ENDPOINT = "client"
+
+
+@dataclass
+class RuntimeStats:
+    """Counters accumulated across the life of the runtime."""
+
+    asks: int = 0
+    tells: int = 0
+    replies: int = 0
+    errors: int = 0
+    dropped_messages: int = 0
+    activations_created: int = 0
+    activations_collected: int = 0
+    activations_crashed: int = 0
+    activation_failures: int = 0
+    reminders_delivered: int = 0
+    last_error: str = ""
+    failed_keys: list[str] = field(default_factory=list)
+
+
+class AodbRuntime:
+    """An actor-oriented database over simulated cluster hardware."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        config: RuntimeConfig | None = None,
+        grain_storage: KeyValueStore | None = None,
+        network: Network | None = None,
+        system_store: SystemStore | None = None,
+        rng: RngRegistry | None = None,
+    ) -> None:
+        self.scheduler = scheduler or Scheduler()
+        self.config = config or RuntimeConfig()
+        self.config.validate()
+        self.rng = rng or RngRegistry(self.config.seed)
+        self.network = network or Network(self.scheduler, rng=self.rng)
+        self.system_store = system_store or SystemStore(self.scheduler)
+        # Explicit None check: stores define __len__, so an empty store is
+        # falsy and `or` would silently discard it.
+        self.grain_storage = (
+            grain_storage if grain_storage is not None else InMemoryKVStore()
+        )
+        self.directory = GrainDirectory()
+        self.strategies = build_strategies(self.rng.stream("placement"))
+        self.stats = RuntimeStats()
+        self._actor_types: dict[str, type[Actor]] = {}
+        self._silos: dict[str, Silo] = {}
+        self._collector_task: Task | None = None
+        self._reminder_task: Task | None = None
+        self._heartbeats: dict[str, Task] = {}
+        self._reminder_due: dict[tuple[str, str], float] = {}
+        self._stopped = False
+        # Set by AodbDatabase when database features are layered on top.
+        self.database: Any = None
+        self.network.register(CLIENT_ENDPOINT)
+
+    # -- registration ------------------------------------------------------------
+
+    def register_actor(
+        self, actor_class: type[Actor], name: str | None = None
+    ) -> type[Actor]:
+        """Register an actor class under ``name`` (default: class name).
+
+        Usable as a decorator: ``@runtime.register_actor``.
+        """
+        if not issubclass(actor_class, Actor):
+            raise TypeError(f"{actor_class!r} is not an Actor subclass")
+        type_name = name or actor_class.__name__
+        existing = self._actor_types.get(type_name)
+        if existing is not None and existing is not actor_class:
+            raise ValueError(f"actor type {type_name!r} already registered")
+        self._actor_types[type_name] = actor_class
+        return actor_class
+
+    def register_actors(self, actor_classes: Iterable[type[Actor]]) -> None:
+        """Register several actor classes at once."""
+        for actor_class in actor_classes:
+            self.register_actor(actor_class)
+
+    def actor_type(self, type_name: str) -> type[Actor]:
+        """The registered class for ``type_name`` (raises if unknown)."""
+        actor_class = self._actor_types.get(type_name)
+        if actor_class is None:
+            raise UnknownActorTypeError(type_name)
+        return actor_class
+
+    # -- cluster management ----------------------------------------------------------
+
+    def add_silo(
+        self,
+        silo_id: str,
+        cores: int = 2,
+        speed: float = 1.0,
+        instance_type: str = "generic",
+    ) -> Silo:
+        """Bring a new silo (server) into the cluster."""
+        if silo_id in self._silos:
+            raise ValueError(f"silo {silo_id!r} already exists")
+        silo = Silo(
+            self.scheduler,
+            silo_id,
+            cores=cores,
+            speed=speed,
+            instance_type=instance_type,
+        )
+        self._silos[silo_id] = silo
+        self.network.register(silo_id)
+        self.system_store.announce(silo_id, instance_type=instance_type)
+        self._heartbeats[silo_id] = self.scheduler.spawn(
+            self._heartbeat_loop(silo_id), name=f"heartbeat:{silo_id}"
+        )
+        return silo
+
+    async def _heartbeat_loop(self, silo_id: str) -> None:
+        # Keep the membership lease fresh while the silo lives, as Orleans
+        # silos do against their system store.
+        interval = self.system_store.lease_seconds / 3
+        while silo_id in self._silos:
+            await self.scheduler.sleep(interval)
+            if silo_id in self._silos:
+                self.system_store.refresh_lease(silo_id)
+
+    def silo(self, silo_id: str) -> Silo:
+        """The silo object for ``silo_id`` (raises if unknown)."""
+        silo = self._silos.get(silo_id)
+        if silo is None:
+            raise SiloUnavailableError(silo_id)
+        return silo
+
+    def silos(self) -> list[Silo]:
+        """All silos in the cluster."""
+        return list(self._silos.values())
+
+    async def shutdown_silo(self, silo_id: str) -> int:
+        """Gracefully stop one silo: deactivate (and persist) everything.
+
+        Returns the number of activations that were deactivated.  This is
+        the paper's durability story for the benchmarks: "the upload of data
+        points to the grain state storage has been configured to only happen
+        when the Orleans silo service is shut down".
+        """
+        silo = self.silo(silo_id)
+        silo.stopping = True
+        count = 0
+        for activation in silo.activations():
+            await self._deactivate(activation)
+            count += 1
+        self.system_store.retire(silo_id)
+        self.network.unregister(silo_id)
+        del self._silos[silo_id]
+        heartbeat = self._heartbeats.pop(silo_id, None)
+        if heartbeat is not None:
+            heartbeat.cancel()
+        return count
+
+    def crash_silo(self, silo_id: str) -> int:
+        """Fail one silo *without* any graceful shutdown.
+
+        Unlike :meth:`shutdown_silo`, nothing is flushed and no
+        ``on_deactivate`` hooks run: in-memory state since the last
+        persistence point is lost, queued and in-flight requests fail with
+        :class:`~repro.errors.SiloUnavailableError`, and the crashed
+        activations' keys re-place on surviving silos at next use.
+        Returns the number of activations lost.
+        """
+        silo = self.silo(silo_id)
+        fault = SiloUnavailableError(f"silo {silo_id!r} crashed")
+        lost = 0
+        for activation in silo.activations():
+            activation.closing = True
+            activation._pump_task.cancel()
+            for timer_name in list(activation._timers):
+                activation.cancel_timer(timer_name)
+            activation._fail_pending(fault)
+            activation.closed.set()
+            silo.remove_activation(activation.key)
+            if self.directory.lookup(activation.key) == silo_id:
+                self.directory.unregister(activation.key)
+            lost += 1
+        self.stats.activations_crashed += lost
+        self.system_store.retire(silo_id)
+        self.network.unregister(silo_id)
+        del self._silos[silo_id]
+        heartbeat = self._heartbeats.pop(silo_id, None)
+        if heartbeat is not None:
+            heartbeat.cancel()
+        return lost
+
+    @property
+    def pinned_placement(self) -> PinnedPlacement:
+        """The pin table used by the ``pinned`` placement strategy."""
+        return self.strategies["pinned"]  # type: ignore[return-value]
+
+    # -- references and messaging -------------------------------------------------------
+
+    def ref(
+        self,
+        type_name: str,
+        actor_id: str,
+        caller_endpoint: str = CLIENT_ENDPOINT,
+        chain: tuple[str, ...] = (),
+    ) -> ActorRef:
+        """A reference to the virtual actor ``type_name/actor_id``."""
+        self.actor_type(type_name)  # fail fast on unknown types
+        return ActorRef(self, ActorKey(type_name, actor_id), caller_endpoint, chain)
+
+    def send(
+        self,
+        key: ActorKey,
+        method: str,
+        args: tuple,
+        kwargs: dict[str, Any],
+        caller_endpoint: str,
+        one_way: bool = False,
+        chain: tuple[str, ...] = (),
+    ) -> Future[Any]:
+        """Route an ask-style invocation; returns the reply future."""
+        self.stats.asks += 1
+        invocation = self._make_invocation(
+            key, method, args, kwargs, caller_endpoint, one_way=False, chain=chain
+        )
+        invocation.reply = Future(f"reply:{invocation.describe()}")
+        self.scheduler.spawn(
+            self._deliver(invocation), name=f"deliver:{invocation.describe()}"
+        )
+        return invocation.reply
+
+    def send_one_way(
+        self,
+        key: ActorKey,
+        method: str,
+        args: tuple,
+        kwargs: dict[str, Any],
+        caller_endpoint: str,
+        chain: tuple[str, ...] = (),
+    ) -> DeliveryReceipt:
+        """Route a tell-style invocation (no reply)."""
+        self.stats.tells += 1
+        invocation = self._make_invocation(
+            key, method, args, kwargs, caller_endpoint, one_way=True, chain=chain
+        )
+        self.scheduler.spawn(
+            self._deliver(invocation), name=f"deliver:{invocation.describe()}"
+        )
+        return DeliveryReceipt(key, method, self.scheduler.now)
+
+    def _make_invocation(
+        self,
+        key: ActorKey,
+        method: str,
+        args: tuple,
+        kwargs: dict[str, Any],
+        caller_endpoint: str,
+        one_way: bool,
+        chain: tuple[str, ...] = (),
+    ) -> Invocation:
+        if self.config.copy_messages:
+            args = tuple(snapshot(arg) for arg in args)
+            kwargs = {name: snapshot(value) for name, value in kwargs.items()}
+        return Invocation(
+            target=key,
+            method=method,
+            args=args,
+            kwargs=dict(kwargs),
+            caller_endpoint=caller_endpoint,
+            one_way=one_way,
+            sent_at=self.scheduler.now,
+            chain=chain,
+        )
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    def _resolve_activation(self, key: ActorKey, caller_endpoint: str) -> Activation:
+        """Find or create (synchronously) the activation for ``key``."""
+        silo_id = self.directory.lookup(key)
+        predecessor = None
+        if silo_id is not None:
+            silo = self._silos.get(silo_id)
+            activation = silo.get_activation(key) if silo is not None else None
+            if activation is not None and not activation.closing:
+                return activation
+            # Stale entry (collected, closing, or silo gone): clear it and
+            # fall through to fresh placement.
+            self.directory.unregister(key)
+            if activation is not None:
+                silo.remove_activation(key)
+                predecessor = activation
+        actor_class = self.actor_type(key.type_name)
+        strategy_name = actor_class.placement or self.config.default_placement
+        strategy = self.strategies.get(strategy_name)
+        if strategy is None:
+            raise ValueError(
+                f"unknown placement strategy {strategy_name!r} "
+                f"for actor type {key.type_name!r}"
+            )
+        active = [s for s in self.system_store.active_silos() if s in self._silos]
+        if not active:
+            raise SiloUnavailableError("no active silos in the cluster")
+        silo_id = strategy.choose(key, caller_endpoint, active)
+        silo = self._silos[silo_id]
+        self.directory.register(key, silo_id)
+        activation = Activation(
+            self,
+            actor_class,
+            key,
+            silo,
+            predecessor_closed=predecessor.closed if predecessor is not None else None,
+        )
+        silo.add_activation(activation)
+        self.stats.activations_created += 1
+        if self.database is not None:
+            self.database.note_activation(key)
+        return activation
+
+    async def _deliver(self, invocation: Invocation) -> None:
+        while True:
+            try:
+                activation = self._resolve_activation(
+                    invocation.target, invocation.caller_endpoint
+                )
+            except Exception as exc:  # noqa: BLE001 - surfaced on the reply
+                self._fail_invocation(invocation, exc)
+                return
+            await self.network.transfer(
+                invocation.caller_endpoint, activation.silo.silo_id
+            )
+            if activation.closing:
+                await activation.closed.wait()
+                continue
+            try:
+                activation.enqueue(invocation)
+                return
+            except MailboxOverflowError as exc:
+                self.stats.dropped_messages += 1
+                self._fail_invocation(invocation, exc)
+                return
+            except ReentrancyError as exc:
+                # A would-be deadlock: fail the caller instead of hanging.
+                self._fail_invocation(invocation, exc)
+                return
+            except Exception:  # activation started closing during transfer
+                await activation.closed.wait()
+
+    def _fail_invocation(self, invocation: Invocation, exc: Exception) -> None:
+        self.stats.errors += 1
+        self.stats.last_error = f"{invocation.describe()}: {exc}"
+        if invocation.reply is not None and not invocation.reply.done():
+            invocation.reply.set_exception(exc)
+
+    def _reply(
+        self,
+        invocation: Invocation,
+        result: Any,
+        error: BaseException | None,
+        from_silo: str,
+    ) -> None:
+        """Deliver a method result (or error) back to the caller."""
+        if error is not None:
+            self.stats.errors += 1
+            self.stats.last_error = f"{invocation.describe()}: {error}"
+        if invocation.reply is None:
+            return
+
+        async def reply_path() -> None:
+            await self.network.transfer(from_silo, invocation.caller_endpoint)
+            if invocation.reply.done():
+                return
+            if error is not None:
+                invocation.reply.set_exception(error)
+            else:
+                payload = snapshot(result) if self.config.copy_messages else result
+                invocation.reply.set_result(payload)
+            self.stats.replies += 1
+
+        self.scheduler.spawn(reply_path(), name=f"reply:{invocation.describe()}")
+
+    def _activation_failed(self, activation: Activation, exc: BaseException) -> None:
+        self.stats.activation_failures += 1
+        self.stats.last_error = f"activation {activation.key}: {exc}"
+        self.stats.failed_keys.append(activation.key.qualified())
+        # Remove the broken activation so the next message gets a fresh one
+        # (unless a successor already replaced it in the records).
+        silo = self._silos.get(activation.silo.silo_id)
+        if silo is not None and silo.get_activation(activation.key) is activation:
+            silo.remove_activation(activation.key)
+            if self.directory.lookup(activation.key) == activation.silo.silo_id:
+                self.directory.unregister(activation.key)
+
+    # -- lifecycle services ------------------------------------------------------------
+
+    async def _deactivate(self, activation: Activation) -> None:
+        await activation.close()
+        # While close() was draining, a racing message may already have
+        # replaced this activation (directory + catalog now point at the
+        # successor).  Only clean up if the records still name *us*.
+        silo = self._silos.get(activation.silo.silo_id)
+        if silo is not None and silo.get_activation(activation.key) is activation:
+            silo.remove_activation(activation.key)
+            if self.directory.lookup(activation.key) == activation.silo.silo_id:
+                self.directory.unregister(activation.key)
+        self.stats.activations_collected += 1
+
+    async def deactivate(self, type_name: str, actor_id: str) -> bool:
+        """Explicitly deactivate one actor (persisting durable state)."""
+        key = ActorKey(type_name, actor_id)
+        silo_id = self.directory.lookup(key)
+        if silo_id is None:
+            return False
+        silo = self._silos.get(silo_id)
+        activation = silo.get_activation(key) if silo is not None else None
+        if activation is None:
+            return False
+        await self._deactivate(activation)
+        return True
+
+    def start(self) -> None:
+        """Start background services (idle collector, reminder pump)."""
+        if self._collector_task is None:
+            self._collector_task = self.scheduler.spawn(
+                self._collector_loop(), name="idle-collector"
+            )
+        if self._reminder_task is None:
+            self._reminder_task = self.scheduler.spawn(
+                self._reminder_loop(), name="reminder-pump"
+            )
+
+    async def stop(self) -> None:
+        """Stop background services and shut every silo down gracefully."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._collector_task is not None:
+            self._collector_task.cancel()
+            self._collector_task = None
+        if self._reminder_task is not None:
+            self._reminder_task.cancel()
+            self._reminder_task = None
+        for silo_id in list(self._silos):
+            await self.shutdown_silo(silo_id)
+
+    async def _collector_loop(self) -> None:
+        while True:
+            await self.scheduler.sleep(self.config.collection_interval)
+            await self.collect_idle_activations()
+
+    async def collect_idle_activations(self) -> int:
+        """One collector pass; returns how many activations were collected."""
+        collected = 0
+        for silo in list(self._silos.values()):
+            for activation in silo.idle_candidates(self.config.idle_timeout):
+                await self._deactivate(activation)
+                collected += 1
+        return collected
+
+    async def _reminder_loop(self) -> None:
+        while True:
+            await self.scheduler.sleep(self.config.reminder_tick)
+            self.pump_reminders()
+
+    def pump_reminders(self) -> int:
+        """Fire every due reminder; returns the number delivered."""
+        now = self.scheduler.now
+        fired = 0
+        for reminder in self.system_store.all_reminders():
+            slot = (reminder.actor_key, reminder.name)
+            due = self._reminder_due.get(slot, reminder.first_due)
+            while due <= now:
+                key = ActorKey.parse(reminder.actor_key)
+                self.send_one_way(
+                    key,
+                    "receive_reminder",
+                    (reminder.name,),
+                    {},
+                    caller_endpoint=CLIENT_ENDPOINT,
+                )
+                self.stats.reminders_delivered += 1
+                fired += 1
+                due += reminder.period
+            self._reminder_due[slot] = due
+        return fired
+
+    # -- introspection -------------------------------------------------------------------
+
+    def total_activations(self) -> int:
+        """Live activations across the whole cluster."""
+        return sum(silo.activation_count for silo in self._silos.values())
+
+    def describe_cluster(self) -> dict[str, Any]:
+        """A snapshot of cluster shape and load, for operators and tests."""
+        return {
+            "silos": {
+                silo.silo_id: {
+                    "instance_type": silo.instance_type,
+                    "cores": silo.cpu.cores,
+                    "speed": silo.cpu.speed,
+                    "activations": silo.activation_count,
+                    "utilization": silo.cpu.utilization(),
+                }
+                for silo in self._silos.values()
+            },
+            "directory_entries": len(self.directory),
+            "actor_types": sorted(self._actor_types),
+        }

@@ -1,0 +1,78 @@
+"""Silos: the simulated servers that host activations.
+
+A silo bundles a CPU resource (its simulated hardware), an activation
+catalog, and a network endpoint.  One silo corresponds to one server in the
+paper's deployment (one Orleans silo per EC2 instance).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..kernel.resources import CpuResource
+from ..kernel.scheduler import Scheduler
+from .key import ActorKey
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .activation import Activation
+
+
+class Silo:
+    """One simulated server in the cluster."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        silo_id: str,
+        cores: int = 2,
+        speed: float = 1.0,
+        instance_type: str = "generic",
+    ) -> None:
+        self.scheduler = scheduler
+        self.silo_id = silo_id
+        self.instance_type = instance_type
+        self.cpu = CpuResource(scheduler, cores=cores, speed=speed)
+        self._activations: dict[ActorKey, "Activation"] = {}
+        self.stopping = False
+
+    # -- catalog -----------------------------------------------------------------
+
+    def add_activation(self, activation: "Activation") -> None:
+        """Register a new activation in this silo's catalog."""
+        if activation.key in self._activations:
+            raise ValueError(f"{activation.key} already activated on {self.silo_id}")
+        self._activations[activation.key] = activation
+
+    def remove_activation(self, key: ActorKey) -> None:
+        """Drop an activation from the catalog (after it closed)."""
+        self._activations.pop(key, None)
+
+    def get_activation(self, key: ActorKey) -> "Activation | None":
+        """The live activation for ``key``, if any."""
+        return self._activations.get(key)
+
+    def activations(self) -> Iterable["Activation"]:
+        """Snapshot of current activations."""
+        return list(self._activations.values())
+
+    @property
+    def activation_count(self) -> int:
+        """Number of live activations hosted here."""
+        return len(self._activations)
+
+    def idle_candidates(self, idle_timeout: float) -> list["Activation"]:
+        """Activations unused for ``idle_timeout`` seconds and not busy."""
+        now = self.scheduler.now
+        return [
+            activation
+            for activation in self._activations.values()
+            if not activation.closing
+            and not activation.busy
+            and now - activation.last_used >= idle_timeout
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Silo {self.silo_id} type={self.instance_type} "
+            f"activations={self.activation_count}>"
+        )

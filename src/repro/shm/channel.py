@@ -1,0 +1,268 @@
+"""Physical and virtual sensor channel actors.
+
+Channels are the paper's unit of ingestion: each holds "a window of data
+points originating in the respective data stream" (§4.2).  Physical
+channels receive raw readings; virtual channels derive a stream from
+several physical channels through an equation (the benchmark uses a
+summation of a sensor's two physical channels).
+
+Both use prefer-local placement (§5: "we have had to change the activation
+placement strategy away from random placement for our sensor channels and
+aggregators") so they are activated on the silo of the sensor that first
+talks to them.
+"""
+
+from __future__ import annotations
+
+from ..runtime.actor import Actor, actor_method
+from ..runtime.persistence import WritePolicy
+from .equations import equation_from_description
+from .model import AlertRule, DataPoint, SensorType
+from .timeseries import AccumulatedChange, DataWindow
+
+DEFAULT_WINDOW_CAPACITY = 4096
+# Cap on how many pending (incomplete) virtual-channel timestamps to keep.
+MAX_PENDING_TIMESTAMPS = 1024
+
+
+class _ChannelBase(Actor):
+    """Shared storage/query machinery of physical and virtual channels.
+
+    The live window is a plain in-memory structure (this is the in-memory
+    AODB cache); it is serialized into ``self.state`` only on deactivation,
+    which reproduces the paper's benchmark durability configuration ("upload
+    ... only ... when the Orleans silo service is shut down").
+    """
+
+    durable = True
+    write_policy = WritePolicy.ON_DEACTIVATE
+    placement = "prefer_local"
+
+    def __init__(self, context):
+        super().__init__(context)
+        self.window = DataWindow(DEFAULT_WINDOW_CAPACITY)
+        self.change = AccumulatedChange()
+
+    async def on_activate(self):
+        window_capacity = self.state.get("window_capacity", DEFAULT_WINDOW_CAPACITY)
+        self.window = DataWindow(window_capacity)
+        for timestamp, value in self.state.get("window", ()):
+            self.window.append(DataPoint(timestamp, value))
+        change = self.state.get("change")
+        if change:
+            self.change.first_value = change["first"]
+            self.change.last_value = change["last"]
+            self.change.total = change["total"]
+            self.change.count = change["count"]
+
+    async def on_deactivate(self):
+        self.state["window"] = [p.as_tuple() for p in self.window.all_points()]
+        self.state["change"] = self.change.snapshot()
+        self.mark_dirty()
+
+    def _store_points(self, points: list[tuple[float, float]]) -> int:
+        """Append readings to the window; archive evicted ones."""
+        evicted = []
+        for timestamp, value in points:
+            evicted.extend(self.window.append(DataPoint(timestamp, value)))
+            self.change.observe(value)
+        if evicted:
+            archive = getattr(self.context.runtime, "archive", None)
+            if archive is not None:
+                for point in evicted:
+                    archive.append(self.actor_id, point.timestamp, point.value)
+        return len(points)
+
+    # -- queries --------------------------------------------------------------
+
+    @actor_method(read_only=True)
+    async def latest(self) -> tuple[float, float] | None:
+        """The most recent reading as ``(timestamp, value)``."""
+        point = self.window.latest()
+        return point.as_tuple() if point is not None else None
+
+    @actor_method(read_only=True)
+    async def query_range(self, start: float, end: float) -> list[tuple[float, float]]:
+        """Raw readings with start <= timestamp < end (the Fig. 8 request)."""
+        return [p.as_tuple() for p in self.window.range(start, end)]
+
+    @actor_method(read_only=True)
+    async def recent(self, count: int) -> list[tuple[float, float]]:
+        """The most recent ``count`` readings."""
+        return [p.as_tuple() for p in self.window.tail(count)]
+
+    @actor_method(read_only=True)
+    async def accumulated_change(self) -> dict:
+        """Net and total movement of the stream (functional requirement 4)."""
+        return self.change.snapshot()
+
+    @actor_method(read_only=True)
+    async def depth(self) -> int:
+        """Number of points currently buffered."""
+        return len(self.window)
+
+
+class PhysicalSensorChannel(_ChannelBase):
+    """A channel bound to one physical signal of one sensor."""
+
+    async def configure(
+        self,
+        org_id: str,
+        sensor_id: str,
+        sensor_type: str = SensorType.EXTENSION.value,
+        window_capacity: int = DEFAULT_WINDOW_CAPACITY,
+        alert_rules: list[dict] | None = None,
+        subscribers: list[str] | None = None,
+        aggregator_id: str | None = None,
+    ) -> dict:
+        """Provision the channel.
+
+        ``subscribers`` are virtual-channel actor ids that receive a copy of
+        every ingested batch; ``aggregator_id`` optionally routes points to
+        an hourly aggregator.
+        """
+        self.state["org_id"] = org_id
+        self.state["sensor_id"] = sensor_id
+        self.state["sensor_type"] = sensor_type
+        self.state["window_capacity"] = window_capacity
+        self.state["alert_rules"] = list(alert_rules or ())
+        self.state["subscribers"] = list(subscribers or ())
+        self.state["aggregator_id"] = aggregator_id
+        self.state["last_alert_at"] = {}
+        self.mark_dirty()
+        self.window = DataWindow(window_capacity)
+        return {"channel_id": self.actor_id}
+
+    async def add_alert_rule(self, rule: dict) -> None:
+        """Attach a threshold rule pushed down by the organization."""
+        rules = self.state.setdefault("alert_rules", [])
+        rules[:] = [r for r in rules if r["rule_id"] != rule["rule_id"]]
+        rules.append(dict(rule))
+        self.mark_dirty()
+
+    async def ingest(self, points: list[tuple[float, float]]) -> int:
+        """Store one batch of readings; the ingestion hot path.
+
+        Checks alert rules, then forwards the batch one-way to subscribed
+        virtual channels and the aggregator (if any) — one-way because the
+        derived streams are eventually consistent with the raw stream.
+        """
+        stored = self._store_points(points)
+        if self.state.get("alert_rules"):
+            self._check_alerts(points)
+        for subscriber in self.state.get("subscribers", ()):
+            self.context.actor("VirtualSensorChannel", subscriber).tell(
+                "ingest_input", self.actor_id, points
+            )
+        aggregator_id = self.state.get("aggregator_id")
+        if aggregator_id:
+            self.context.actor("Aggregator", aggregator_id).tell("ingest", points)
+        return stored
+
+    def _check_alerts(self, points: list[tuple[float, float]]) -> None:
+        sensor_type = SensorType(self.state.get("sensor_type", "extension"))
+        last_alert_at = self.state.setdefault("last_alert_at", {})
+        org = self.context.actor("Organization", self.state["org_id"])
+        for rule_dict in self.state.get("alert_rules", ()):
+            rule = AlertRule(
+                rule_dict["rule_id"],
+                low=rule_dict.get("low"),
+                high=rule_dict.get("high"),
+                channel_id=rule_dict.get("channel_id"),
+                sensor_type=SensorType(rule_dict["sensor_type"])
+                if rule_dict.get("sensor_type")
+                else None,
+                cooldown_seconds=rule_dict.get("cooldown_seconds", 60.0),
+                message=rule_dict.get("message", ""),
+            )
+            if not rule.matches(self.actor_id, sensor_type):
+                continue
+            for timestamp, value in points:
+                if not rule.violated_by(value):
+                    continue
+                last = last_alert_at.get(rule.rule_id)
+                if last is not None and timestamp - last < rule.cooldown_seconds:
+                    continue
+                last_alert_at[rule.rule_id] = timestamp
+                self.mark_dirty()
+                org.tell(
+                    "record_alert",
+                    {
+                        "rule_id": rule.rule_id,
+                        "channel_id": self.actor_id,
+                        "value": value,
+                        "timestamp": timestamp,
+                        "message": rule.message,
+                    },
+                )
+                break  # at most one alert per rule per batch
+
+
+class VirtualSensorChannel(_ChannelBase):
+    """A derived stream computed from several physical channels (§4.2)."""
+
+    async def configure(
+        self,
+        org_id: str,
+        sensor_id: str,
+        input_channel_ids: list[str],
+        equation: dict | None = None,
+        window_capacity: int = DEFAULT_WINDOW_CAPACITY,
+        aggregator_id: str | None = None,
+    ) -> dict:
+        """Provision: inputs, the equation, and an optional aggregator."""
+        if not input_channel_ids:
+            raise ValueError("a virtual channel needs at least one input")
+        self.state["org_id"] = org_id
+        self.state["sensor_id"] = sensor_id
+        self.state["input_channel_ids"] = list(input_channel_ids)
+        self.state["equation"] = equation or {"kind": "sum"}
+        equation_from_description(self.state["equation"])  # validate now
+        self.state["window_capacity"] = window_capacity
+        self.state["aggregator_id"] = aggregator_id
+        self.mark_dirty()
+        self.window = DataWindow(window_capacity)
+        self._pending: dict[float, dict[str, float]] = {}
+        return {"channel_id": self.actor_id}
+
+    async def on_activate(self):
+        await super().on_activate()
+        self._pending = {}
+
+    async def ingest_input(
+        self, channel_id: str, points: list[tuple[float, float]]
+    ) -> int:
+        """Receive a batch from one input channel; derive when aligned.
+
+        A derived point is produced for each timestamp once *all* input
+        channels contributed a reading for it.
+        """
+        inputs = self.state.get("input_channel_ids", ())
+        if channel_id not in inputs:
+            return 0
+        equation = equation_from_description(self.state.get("equation", {"kind": "sum"}))
+        derived: list[tuple[float, float]] = []
+        for timestamp, value in points:
+            slot = self._pending.setdefault(timestamp, {})
+            slot[channel_id] = value
+            if len(slot) == len(inputs):
+                derived.append((timestamp, equation.evaluate(slot)))
+                del self._pending[timestamp]
+        if len(self._pending) > MAX_PENDING_TIMESTAMPS:
+            # Drop the oldest incomplete timestamps (an input went silent).
+            for stale in sorted(self._pending)[: len(self._pending) // 2]:
+                del self._pending[stale]
+        if derived:
+            derived.sort()
+            self._store_points(derived)
+            aggregator_id = self.state.get("aggregator_id")
+            if aggregator_id:
+                self.context.actor("Aggregator", aggregator_id).tell(
+                    "ingest", derived
+                )
+        return len(derived)
+
+    @actor_method(read_only=True)
+    async def pending_count(self) -> int:
+        """Timestamps still waiting for some input (diagnostic)."""
+        return len(self._pending)

@@ -1,0 +1,214 @@
+"""Equations for virtual sensor channels.
+
+A virtual sensor channel "represents a computation over potentially multiple
+physical channels" (§4.2) — e.g. the benchmark's virtual channel is "a
+summation of the two other sensor channels on the corresponding sensor".
+An :class:`Equation` combines one aligned reading from each input channel
+into one derived value.
+
+Equations are serializable values (stored in actor state), so they are
+described declaratively and compiled, not passed as closures.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import operator
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import PlatformError
+
+
+class EquationError(PlatformError):
+    """The equation is malformed or cannot be evaluated."""
+
+
+class Equation:
+    """Base: combine one value per input channel into a derived value."""
+
+    def evaluate(self, inputs: Mapping[str, float]) -> float:
+        """Compute the derived value from per-channel readings."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """Serializable description (kind + parameters)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SumEquation(Equation):
+    """Sum of all input readings — the benchmark's virtual channel."""
+
+    def evaluate(self, inputs: Mapping[str, float]) -> float:
+        return sum(inputs.values())
+
+    def describe(self) -> dict:
+        return {"kind": "sum"}
+
+
+@dataclass(frozen=True)
+class MeanEquation(Equation):
+    """Arithmetic mean of the input readings."""
+
+    def evaluate(self, inputs: Mapping[str, float]) -> float:
+        if not inputs:
+            raise EquationError("mean of zero inputs")
+        return sum(inputs.values()) / len(inputs)
+
+    def describe(self) -> dict:
+        return {"kind": "mean"}
+
+
+@dataclass(frozen=True)
+class WeightedEquation(Equation):
+    """Weighted linear combination keyed by channel id."""
+
+    weights: tuple[tuple[str, float], ...] = ()
+
+    def evaluate(self, inputs: Mapping[str, float]) -> float:
+        total = 0.0
+        for channel_id, weight in self.weights:
+            if channel_id not in inputs:
+                raise EquationError(f"missing input channel {channel_id!r}")
+            total += weight * inputs[channel_id]
+        return total
+
+    def describe(self) -> dict:
+        return {"kind": "weighted", "weights": dict(self.weights)}
+
+
+_ALLOWED_BINOPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.Pow: operator.pow,
+    ast.Mod: operator.mod,
+}
+_ALLOWED_UNARYOPS = {ast.UAdd: operator.pos, ast.USub: operator.neg}
+_ALLOWED_FUNCS = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "sqrt": math.sqrt,
+    "sin": math.sin,
+    "cos": math.cos,
+    "log": math.log,
+    "exp": math.exp,
+    "atan2": math.atan2,
+    "hypot": math.hypot,
+}
+
+
+@dataclass(frozen=True)
+class ExpressionEquation(Equation):
+    """A restricted arithmetic expression over named channel variables.
+
+    Example: ``ExpressionEquation("hypot(ax, ay)", {"ax": "s1/c0", "ay":
+    "s1/c1"})``.  Only arithmetic operators, numeric literals and a small
+    whitelist of math functions are allowed — the expression is parsed with
+    :mod:`ast` and interpreted, never ``eval``-ed.
+    """
+
+    expression: str
+    variables: tuple[tuple[str, str], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        # Validate at construction so bad equations fail at provisioning
+        # time, not at ingest time.
+        tree = self._parse()
+        names = {
+            node.id
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Name) and node.id not in _ALLOWED_FUNCS
+        }
+        declared = {name for name, _cid in self.variables}
+        missing = names - declared
+        if missing:
+            raise EquationError(
+                f"expression uses undeclared variables: {sorted(missing)}"
+            )
+
+    def _parse(self) -> ast.Expression:
+        try:
+            tree = ast.parse(self.expression, mode="eval")
+        except SyntaxError as exc:
+            raise EquationError(f"cannot parse {self.expression!r}: {exc}") from exc
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Expression, ast.Constant, ast.Name, ast.Load)):
+                continue
+            if isinstance(node, ast.BinOp) and type(node.op) in _ALLOWED_BINOPS:
+                continue
+            if isinstance(node, ast.UnaryOp) and type(node.op) in _ALLOWED_UNARYOPS:
+                continue
+            if isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in _ALLOWED_FUNCS
+                    and not node.keywords
+                ):
+                    continue
+                raise EquationError(f"disallowed call in {self.expression!r}")
+            if isinstance(node, (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow,
+                                 ast.Mod, ast.UAdd, ast.USub)):
+                continue
+            raise EquationError(
+                f"disallowed syntax {type(node).__name__} in {self.expression!r}"
+            )
+        return tree
+
+    def evaluate(self, inputs: Mapping[str, float]) -> float:
+        bindings = {}
+        for name, channel_id in self.variables:
+            if channel_id not in inputs:
+                raise EquationError(f"missing input channel {channel_id!r}")
+            bindings[name] = inputs[channel_id]
+        return self._eval_node(self._parse().body, bindings)
+
+    def _eval_node(self, node: ast.AST, bindings: dict[str, float]) -> float:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)):
+                return float(node.value)
+            raise EquationError(f"non-numeric literal {node.value!r}")
+        if isinstance(node, ast.Name):
+            if node.id in bindings:
+                return bindings[node.id]
+            raise EquationError(f"unbound variable {node.id!r}")
+        if isinstance(node, ast.BinOp):
+            left = self._eval_node(node.left, bindings)
+            right = self._eval_node(node.right, bindings)
+            return _ALLOWED_BINOPS[type(node.op)](left, right)
+        if isinstance(node, ast.UnaryOp):
+            return _ALLOWED_UNARYOPS[type(node.op)](
+                self._eval_node(node.operand, bindings)
+            )
+        if isinstance(node, ast.Call):
+            func = _ALLOWED_FUNCS[node.func.id]  # validated at parse
+            args = [self._eval_node(arg, bindings) for arg in node.args]
+            return float(func(*args))
+        raise EquationError(f"unexpected node {type(node).__name__}")
+
+    def describe(self) -> dict:
+        return {
+            "kind": "expression",
+            "expression": self.expression,
+            "variables": dict(self.variables),
+        }
+
+
+def equation_from_description(description: dict) -> Equation:
+    """Rebuild an equation from its :meth:`Equation.describe` output."""
+    kind = description.get("kind")
+    if kind == "sum":
+        return SumEquation()
+    if kind == "mean":
+        return MeanEquation()
+    if kind == "weighted":
+        return WeightedEquation(tuple(description["weights"].items()))
+    if kind == "expression":
+        return ExpressionEquation(
+            description["expression"], tuple(description["variables"].items())
+        )
+    raise EquationError(f"unknown equation kind {kind!r}")

@@ -1,0 +1,253 @@
+"""The Organization actor — one tenant of the SHM data platform.
+
+Following the paper's granularity principle (§4.2), an Organization actor
+encapsulates its projects and users as non-actor objects ("only
+organizations are active ... while projects are passive structural schemes
+used by organizations").  It also:
+
+- keeps the registry of its sensors and sensor channels (used to fan out
+  live-data queries, §6.2's "requests for live data retrieved the most
+  recent values from all sensor channels of a given organization");
+- stores alert rules and pushes them to the affected channel actors;
+- records alerts raised by channels and routes them to subscribed users.
+"""
+
+from __future__ import annotations
+
+from ..errors import AuthorizationError, UnknownEntityError
+from ..runtime.actor import Actor, actor_method
+from .model import AlertRule, Role, SensorType
+
+# Actions gated by role-based access control (non-functional requirement 7).
+_ROLE_PERMISSIONS: dict[str, frozenset[Role]] = {
+    "read_data": frozenset({Role.ENGINEER, Role.DATA_ANALYST, Role.MAINTENANCE, Role.ADMIN}),
+    "manage_structure": frozenset({Role.MAINTENANCE, Role.ADMIN}),
+    "manage_users": frozenset({Role.ADMIN}),
+    "manage_alerts": frozenset({Role.ENGINEER, Role.MAINTENANCE, Role.ADMIN}),
+}
+
+MAX_STORED_ALERTS = 1000
+
+
+class Organization(Actor):
+    """Tenant actor: projects, users, sensor registry, alerts."""
+
+    durable = True
+    placement = "pinned"
+
+    async def setup(self, name: str) -> dict:
+        """Initialize the organization (idempotent)."""
+        self.state.setdefault("name", name)
+        self.state.setdefault("projects", {})
+        self.state.setdefault("users", {})
+        self.state.setdefault("sensors", {})
+        self.state.setdefault("channels", [])
+        self.state.setdefault("alert_rules", {})
+        self.state.setdefault("alerts", [])
+        self.state.setdefault("inboxes", {})
+        self.mark_dirty()
+        return {"org_id": self.actor_id, "name": self.state["name"]}
+
+    # -- access control ---------------------------------------------------------
+
+    def _require(self, user_id: str | None, action: str) -> None:
+        if user_id is None:
+            return  # internal/platform call
+        users = self.state.get("users", {})
+        user = users.get(user_id)
+        if user is None:
+            raise AuthorizationError(
+                f"unknown user {user_id!r} in organization {self.actor_id}"
+            )
+        role = Role(user["role"])
+        if role not in _ROLE_PERMISSIONS[action]:
+            raise AuthorizationError(
+                f"user {user_id!r} (role {role.value}) may not {action}"
+            )
+
+    @actor_method(read_only=True)
+    async def check_access(self, user_id: str, action: str) -> bool:
+        """Raise AuthorizationError unless ``user_id`` may do ``action``."""
+        self._require(user_id, action)
+        return True
+
+    # -- structure management ---------------------------------------------------------
+
+    async def add_user(
+        self,
+        user_id: str,
+        name: str,
+        role: str = Role.ENGINEER.value,
+        subscribed_alerts: bool = True,
+        acting_user: str | None = None,
+    ) -> dict:
+        """Add a user (tenant principal)."""
+        self._require(acting_user, "manage_users")
+        Role(role)  # validate
+        user = {
+            "user_id": user_id,
+            "name": name,
+            "role": role,
+            "subscribed_alerts": subscribed_alerts,
+        }
+        self.state.setdefault("users", {})[user_id] = user
+        self.state.setdefault("inboxes", {}).setdefault(user_id, [])
+        self.mark_dirty()
+        return user
+
+    async def add_project(
+        self,
+        project_id: str,
+        name: str,
+        structure_kind: str = "bridge",
+        acting_user: str | None = None,
+    ) -> dict:
+        """Create a monitored construction project."""
+        self._require(acting_user, "manage_structure")
+        project = {
+            "project_id": project_id,
+            "name": name,
+            "structure_kind": structure_kind,
+            "sensor_ids": [],
+            "active": True,
+        }
+        self.state.setdefault("projects", {})[project_id] = project
+        self.mark_dirty()
+        return project
+
+    async def register_sensor(
+        self,
+        project_id: str,
+        sensor_id: str,
+        sensor_type: str,
+        channel_ids: list[str],
+        virtual_channel_ids: list[str] | None = None,
+        acting_user: str | None = None,
+    ) -> dict:
+        """Record a provisioned sensor and its (physical+virtual) channels."""
+        self._require(acting_user, "manage_structure")
+        virtual_channel_ids = virtual_channel_ids or []
+        projects = self.state.setdefault("projects", {})
+        if project_id not in projects:
+            raise UnknownEntityError(f"no project {project_id!r} in {self.actor_id}")
+        projects[project_id]["sensor_ids"].append(sensor_id)
+        sensor = {
+            "sensor_id": sensor_id,
+            "project_id": project_id,
+            "sensor_type": sensor_type,
+            "channel_ids": list(channel_ids),
+            "virtual_channel_ids": list(virtual_channel_ids),
+        }
+        self.state.setdefault("sensors", {})[sensor_id] = sensor
+        channels = self.state.setdefault("channels", [])
+        channels.extend({"id": cid, "virtual": False} for cid in channel_ids)
+        channels.extend({"id": cid, "virtual": True} for cid in virtual_channel_ids)
+        self.mark_dirty()
+        return sensor
+
+    # -- alert rules --------------------------------------------------------------
+
+    async def add_alert_rule(
+        self,
+        rule_id: str,
+        low: float | None = None,
+        high: float | None = None,
+        channel_id: str | None = None,
+        sensor_type: str | None = None,
+        cooldown_seconds: float = 60.0,
+        message: str = "",
+        acting_user: str | None = None,
+    ) -> int:
+        """Store a threshold rule and push it to the affected channels.
+
+        Returns the number of channels the rule was pushed to.
+        """
+        self._require(acting_user, "manage_alerts")
+        rule = {
+            "rule_id": rule_id,
+            "low": low,
+            "high": high,
+            "channel_id": channel_id,
+            "sensor_type": sensor_type,
+            "cooldown_seconds": cooldown_seconds,
+            "message": message,
+        }
+        self.state.setdefault("alert_rules", {})[rule_id] = rule
+        self.mark_dirty()
+        pushed = 0
+        for sensor in self.state.get("sensors", {}).values():
+            for cid in sensor["channel_ids"]:
+                applies = AlertRule(
+                    rule_id,
+                    low=low,
+                    high=high,
+                    channel_id=channel_id,
+                    sensor_type=SensorType(sensor_type) if sensor_type else None,
+                ).matches(cid, SensorType(sensor["sensor_type"]))
+                if applies:
+                    channel = self.context.actor("PhysicalSensorChannel", cid)
+                    channel.tell("add_alert_rule", rule)
+                    pushed += 1
+        return pushed
+
+    async def record_alert(self, alert: dict) -> None:
+        """Receive an alert from a channel (one-way) and fan to inboxes."""
+        alerts = self.state.setdefault("alerts", [])
+        alerts.append(alert)
+        if len(alerts) > MAX_STORED_ALERTS:
+            del alerts[: len(alerts) - MAX_STORED_ALERTS]
+        inboxes = self.state.setdefault("inboxes", {})
+        for user in self.state.get("users", {}).values():
+            if user.get("subscribed_alerts"):
+                inbox = inboxes.setdefault(user["user_id"], [])
+                inbox.append(alert)
+                if len(inbox) > MAX_STORED_ALERTS:
+                    del inbox[: len(inbox) - MAX_STORED_ALERTS]
+        self.mark_dirty()
+
+    # -- queries -----------------------------------------------------------------------
+
+    @actor_method(read_only=True)
+    async def live_data(self, user_id: str | None = None) -> dict:
+        """Most recent value of every channel in this organization (§6.2)."""
+        self._require(user_id, "read_data")
+        entries = list(self.state.get("channels", ()))
+        futures = []
+        for entry in entries:
+            type_name = (
+                "VirtualSensorChannel" if entry["virtual"] else "PhysicalSensorChannel"
+            )
+            futures.append(self.context.actor(type_name, entry["id"]).ask("latest"))
+        values = await self.context.runtime.scheduler.gather(futures)
+        return {entry["id"]: value for entry, value in zip(entries, values)}
+
+    @actor_method(read_only=True)
+    async def alerts(self, limit: int = 100, user_id: str | None = None) -> list:
+        """The most recent alerts recorded by this organization."""
+        self._require(user_id, "read_data")
+        return list(self.state.get("alerts", ()))[-limit:]
+
+    @actor_method(read_only=True)
+    async def inbox(self, user_id: str) -> list:
+        """Alerts delivered to one subscribed user."""
+        self._require(user_id, "read_data")
+        return list(self.state.get("inboxes", {}).get(user_id, ()))
+
+    @actor_method(read_only=True)
+    async def describe(self) -> dict:
+        """Structural summary of the tenant."""
+        return {
+            "org_id": self.actor_id,
+            "name": self.state.get("name"),
+            "projects": len(self.state.get("projects", {})),
+            "users": len(self.state.get("users", {})),
+            "sensors": len(self.state.get("sensors", {})),
+            "channels": len(self.state.get("channels", ())),
+            "alert_rules": len(self.state.get("alert_rules", {})),
+            "alerts": len(self.state.get("alerts", ())),
+        }
+
+    @actor_method(read_only=True)
+    async def channel_ids(self) -> list[str]:
+        """All channel actor ids (physical and virtual) of this organization."""
+        return [entry["id"] for entry in self.state.get("channels", ())]

@@ -1,0 +1,114 @@
+"""The Sensor actor.
+
+A sensor is an active entity (it can be relocated and emits multiple data
+streams), so it is its own actor (§4.2).  The benchmarking tool "simulates
+sensors by tasks that each call a sensor grain and insert 10 data points"
+per physical channel per second; the grain disaggregates the batch to its
+channel actors, which (under prefer-local placement, §5) live on the same
+silo, so the fan-out is loopback-cheap.
+"""
+
+from __future__ import annotations
+
+from ..errors import UnknownEntityError
+from ..runtime.actor import Actor, actor_method
+
+
+class Sensor(Actor):
+    """One physical sensor with one or more channels."""
+
+    durable = True
+    placement = "pinned"
+
+    async def configure(
+        self,
+        org_id: str,
+        sensor_type: str,
+        channel_configs: list[dict],
+        virtual_channel_config: dict | None = None,
+        position: tuple[float, float] | None = None,
+    ) -> dict:
+        """Provision this sensor and configure its channel actors.
+
+        ``channel_configs`` is a list of dicts with at least ``channel_id``;
+        remaining keys are forwarded to
+        :meth:`~repro.shm.channel.PhysicalSensorChannel.configure`.  Routing
+        channel configuration through the sensor matters: with prefer-local
+        placement the channels activate on the sensor's silo.
+        """
+        self.state["org_id"] = org_id
+        self.state["sensor_type"] = sensor_type
+        self.state["position"] = position
+        self.state["channel_ids"] = [c["channel_id"] for c in channel_configs]
+        self.state["virtual_channel_id"] = (
+            virtual_channel_config["channel_id"] if virtual_channel_config else None
+        )
+        self.mark_dirty()
+        for config in channel_configs:
+            config = dict(config)
+            channel_id = config.pop("channel_id")
+            channel = self.context.actor("PhysicalSensorChannel", channel_id)
+            await channel.ask(
+                "configure",
+                org_id=org_id,
+                sensor_id=self.actor_id,
+                sensor_type=sensor_type,
+                **config,
+            )
+        if virtual_channel_config is not None:
+            config = dict(virtual_channel_config)
+            channel_id = config.pop("channel_id")
+            virtual = self.context.actor("VirtualSensorChannel", channel_id)
+            await virtual.ask(
+                "configure",
+                org_id=org_id,
+                sensor_id=self.actor_id,
+                **config,
+            )
+        return {
+            "sensor_id": self.actor_id,
+            "channels": list(self.state["channel_ids"]),
+            "virtual_channel": self.state["virtual_channel_id"],
+        }
+
+    async def ingest(self, batches: dict[str, list[tuple[float, float]]]) -> int:
+        """Insert one request's data points, per channel.
+
+        ``batches`` maps channel id to a list of ``(timestamp, value)``
+        pairs.  The sensor forwards each batch to its channel actor and
+        acknowledges only when all channels stored theirs — so the caller's
+        measured latency covers the full ingestion pipeline, as in the
+        paper's benchmark.
+        """
+        known = set(self.state.get("channel_ids", ()))
+        unknown = set(batches) - known
+        if unknown:
+            raise UnknownEntityError(
+                f"sensor {self.actor_id}: unknown channels {sorted(unknown)}"
+            )
+        futures = [
+            self.context.actor("PhysicalSensorChannel", channel_id).ask(
+                "ingest", points
+            )
+            for channel_id, points in batches.items()
+        ]
+        stored = await self.context.runtime.scheduler.gather(futures)
+        return sum(stored)
+
+    async def relocate(self, position: tuple[float, float]) -> tuple:
+        """Move the sensor (sensors are relocatable active entities)."""
+        self.state["position"] = position
+        self.mark_dirty()
+        return tuple(position)
+
+    @actor_method(read_only=True)
+    async def describe(self) -> dict:
+        """Sensor metadata."""
+        return {
+            "sensor_id": self.actor_id,
+            "org_id": self.state.get("org_id"),
+            "sensor_type": self.state.get("sensor_type"),
+            "position": self.state.get("position"),
+            "channel_ids": list(self.state.get("channel_ids", ())),
+            "virtual_channel_id": self.state.get("virtual_channel_id"),
+        }

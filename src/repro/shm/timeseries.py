@@ -1,0 +1,236 @@
+"""Time-series primitives: windows, accumulated change, running aggregates.
+
+Sensor channel actors hold "a window of data points originating in the
+respective data stream" (§4.2); aggregator actors maintain statistical
+summaries per time bucket (§2.1 functional requirement 6).  Both are plain
+non-actor value machinery, kept here so they can be unit- and
+property-tested in isolation.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from .model import DataPoint
+
+
+class DataWindow:
+    """A bounded, time-ordered window of data points.
+
+    Appends must be in non-decreasing timestamp order (streams are ordered
+    at the source).  When capacity is exceeded, the oldest points are
+    evicted and returned so callers can archive them.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("window capacity must be >= 1")
+        self.capacity = capacity
+        self._points: deque[DataPoint] = deque()
+        self.total_appended = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def append(self, point: DataPoint) -> list[DataPoint]:
+        """Add one point; returns any evicted (oldest) points."""
+        if self._points and point.timestamp < self._points[-1].timestamp:
+            raise ValueError(
+                f"out-of-order point: {point.timestamp} after "
+                f"{self._points[-1].timestamp}"
+            )
+        self._points.append(point)
+        self.total_appended += 1
+        evicted = []
+        while len(self._points) > self.capacity:
+            evicted.append(self._points.popleft())
+        return evicted
+
+    def extend(self, points: list[DataPoint]) -> list[DataPoint]:
+        """Append many points; returns everything evicted."""
+        evicted: list[DataPoint] = []
+        for point in points:
+            evicted.extend(self.append(point))
+        return evicted
+
+    def latest(self) -> DataPoint | None:
+        """The most recent point, or None when empty."""
+        return self._points[-1] if self._points else None
+
+    def range(self, start: float, end: float) -> list[DataPoint]:
+        """Points with start <= timestamp < end (binary searched)."""
+        timestamps = [p.timestamp for p in self._points]
+        lo = bisect.bisect_left(timestamps, start)
+        hi = bisect.bisect_left(timestamps, end)
+        return list(self._points)[lo:hi]
+
+    def tail(self, count: int) -> list[DataPoint]:
+        """The most recent ``count`` points."""
+        if count <= 0:
+            return []
+        return list(self._points)[-count:]
+
+    def all_points(self) -> list[DataPoint]:
+        """Every buffered point (oldest first)."""
+        return list(self._points)
+
+
+class AccumulatedChange:
+    """Net and total movement of a data stream (functional requirement 4).
+
+    ``net`` is the signed difference between the latest and the first-ever
+    reading; ``total`` sums absolute deltas, gauging "how far elements have
+    moved" even when they oscillate back.
+    """
+
+    def __init__(self) -> None:
+        self.first_value: float | None = None
+        self.last_value: float | None = None
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Feed one reading."""
+        if self.last_value is not None:
+            self.total += abs(value - self.last_value)
+        else:
+            self.first_value = value
+        self.last_value = value
+        self.count += 1
+
+    @property
+    def net(self) -> float:
+        """Signed change since the first reading (0.0 before any data)."""
+        if self.first_value is None or self.last_value is None:
+            return 0.0
+        return self.last_value - self.first_value
+
+    def snapshot(self) -> dict:
+        """A serializable summary."""
+        return {
+            "net": self.net,
+            "total": self.total,
+            "count": self.count,
+            "first": self.first_value,
+            "last": self.last_value,
+        }
+
+
+@dataclass
+class AggregateStats:
+    """Streaming count/min/max/mean/variance (Welford's algorithm).
+
+    Welford keeps the variance numerically stable for long streams and
+    makes two summaries mergeable — which is what lets hourly aggregates
+    feed daily ones without reprocessing raw data.
+    """
+
+    count: int = 0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def observe(self, value: float) -> None:
+        """Feed one reading."""
+        self.count += 1
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 for fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self.m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "AggregateStats") -> "AggregateStats":
+        """Combine two summaries (Chan et al. parallel variance)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            self.mean = other.mean
+            self.m2 = other.m2
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.m2 = self.m2 + other.m2 + delta * delta * self.count * other.count / total
+        self.mean = (self.mean * self.count + other.mean * other.count) / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    def snapshot(self) -> dict:
+        """A serializable summary (None min/max when empty)."""
+        return {
+            "count": self.count,
+            "min": None if self.count == 0 else self.minimum,
+            "max": None if self.count == 0 else self.maximum,
+            "mean": None if self.count == 0 else self.mean,
+            "stddev": None if self.count == 0 else self.stddev,
+        }
+
+
+class BucketedAggregates:
+    """Per-time-bucket aggregate stats (e.g. hourly or daily)."""
+
+    def __init__(self, bucket_seconds: float) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError("bucket size must be positive")
+        self.bucket_seconds = bucket_seconds
+        self._buckets: dict[int, AggregateStats] = {}
+
+    def bucket_of(self, timestamp: float) -> int:
+        """The bucket index a timestamp falls into."""
+        return int(timestamp // self.bucket_seconds)
+
+    def observe(self, point: DataPoint) -> int:
+        """Feed one point; returns the bucket index it landed in."""
+        bucket = self.bucket_of(point.timestamp)
+        stats = self._buckets.get(bucket)
+        if stats is None:
+            stats = AggregateStats()
+            self._buckets[bucket] = stats
+        stats.observe(point.value)
+        return bucket
+
+    def merge_bucket(self, bucket: int, stats: AggregateStats) -> None:
+        """Merge a pre-aggregated summary into a bucket (hour → day)."""
+        existing = self._buckets.get(bucket)
+        if existing is None:
+            existing = AggregateStats()
+            self._buckets[bucket] = existing
+        existing.merge(stats)
+
+    def stats_for(self, bucket: int) -> AggregateStats | None:
+        """The stats of one bucket, or None."""
+        return self._buckets.get(bucket)
+
+    def buckets(self) -> list[int]:
+        """All populated bucket indexes, sorted."""
+        return sorted(self._buckets)
+
+    def series(self, start: float, end: float) -> list[tuple[int, dict]]:
+        """(bucket, stats snapshot) pairs overlapping [start, end)."""
+        first = self.bucket_of(start)
+        last = self.bucket_of(end - 1e-9) if end > start else first - 1
+        return [
+            (bucket, self._buckets[bucket].snapshot())
+            for bucket in self.buckets()
+            if first <= bucket <= last
+        ]

@@ -1,0 +1,23 @@
+"""Storage substrates: key-value stores, system store, archive log, serde."""
+
+from .archive import ArchiveLog, ArchiveRecord
+from .dynamo import ProvisionedKVStore
+from .kv import InMemoryKVStore, Item, KeyValueStore
+from .serde import NotSerializableError, ensure_serializable, estimate_size, snapshot
+from .system_store import MembershipEntry, Reminder, SystemStore
+
+__all__ = [
+    "ArchiveLog",
+    "ArchiveRecord",
+    "InMemoryKVStore",
+    "Item",
+    "KeyValueStore",
+    "MembershipEntry",
+    "NotSerializableError",
+    "ProvisionedKVStore",
+    "Reminder",
+    "SystemStore",
+    "ensure_serializable",
+    "estimate_size",
+    "snapshot",
+]

@@ -1,0 +1,98 @@
+"""Append-only archive log for historical data export.
+
+The paper's architecture (§5) exports data recorded in cloud storage into an
+analytical database (star schema) for historical queries, which it declares
+out of scope.  We keep the boundary honest: platforms *append* immutable
+records here (sensor windows evicted from actor state, supply-chain events),
+and a minimal query surface supports the kind of time-range retrieval a
+downstream warehouse loader would perform.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+
+@dataclass(frozen=True)
+class ArchiveRecord:
+    """One immutable archived record."""
+
+    stream: str
+    timestamp: float
+    payload: Any
+    sequence: int
+
+
+class ArchiveLog:
+    """Per-stream append-only logs with time-range reads.
+
+    Records within a stream must be appended with non-decreasing timestamps
+    (enforced), which is what makes binary-searched range reads valid.
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict[str, list[ArchiveRecord]] = {}
+        self._timestamps: dict[str, list[float]] = {}
+        self._sequence = 0
+
+    def append(self, stream: str, timestamp: float, payload: Any) -> ArchiveRecord:
+        """Append one record; timestamps per stream must not go backwards."""
+        timestamps = self._timestamps.setdefault(stream, [])
+        if timestamps and timestamp < timestamps[-1]:
+            raise ValueError(
+                f"archive stream {stream!r}: timestamp {timestamp} is older "
+                f"than last appended {timestamps[-1]}"
+            )
+        self._sequence += 1
+        record = ArchiveRecord(stream, timestamp, payload, self._sequence)
+        self._streams.setdefault(stream, []).append(record)
+        timestamps.append(timestamp)
+        return record
+
+    def extend(
+        self, stream: str, items: Iterable[tuple[float, Any]]
+    ) -> list[ArchiveRecord]:
+        """Append many (timestamp, payload) pairs; returns the records."""
+        return [self.append(stream, ts, payload) for ts, payload in items]
+
+    def streams(self) -> list[str]:
+        """Names of all streams with at least one record."""
+        return sorted(self._streams)
+
+    def __len__(self) -> int:
+        return sum(len(records) for records in self._streams.values())
+
+    def read_range(
+        self, stream: str, start: float, end: float
+    ) -> list[ArchiveRecord]:
+        """Records in ``stream`` with start <= timestamp < end."""
+        records = self._streams.get(stream, [])
+        timestamps = self._timestamps.get(stream, [])
+        lo = bisect.bisect_left(timestamps, start)
+        hi = bisect.bisect_left(timestamps, end)
+        return records[lo:hi]
+
+    def tail(self, stream: str, count: int) -> list[ArchiveRecord]:
+        """The most recent ``count`` records of a stream."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if count == 0:
+            return []
+        return self._streams.get(stream, [])[-count:]
+
+    def export(
+        self,
+        stream: str,
+        transform: Callable[[ArchiveRecord], Any] | None = None,
+    ) -> list[Any]:
+        """Export a full stream, optionally mapping each record.
+
+        This is the hook a star-schema loader would use; the default
+        transform returns the records unchanged.
+        """
+        records = self._streams.get(stream, [])
+        if transform is None:
+            return list(records)
+        return [transform(record) for record in records]

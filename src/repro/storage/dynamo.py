@@ -1,0 +1,127 @@
+"""DynamoDB-like provisioned-capacity key-value store.
+
+The paper provisions "DynamoDB with 200 writes and 200 reads per second" for
+Orleans grain storage and discusses how naive write-through durability would
+consume exactly that budget.  This store reproduces those operational
+characteristics:
+
+- read and write **capacity units** (RCU/WCU) with token-bucket accounting
+  (1 unit per 4 KiB read, 1 unit per 1 KiB written, matching DynamoDB's
+  pricing model closely enough for the durability ablation);
+- a per-request latency model;
+- two overload behaviours: ``throttle`` (raise
+  :class:`~repro.errors.ThrottlingError`, as the AWS SDK surfaces) or
+  ``delay`` (wait for capacity, modeling a client with retries/backoff).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ThrottlingError
+from ..kernel.resources import TokenBucket
+from ..kernel.rng import RngRegistry
+from ..kernel.scheduler import Scheduler
+from ..net.latency import ConstantLatency, LatencyModel
+from .kv import InMemoryKVStore, Item, KeyValueStore
+from .serde import estimate_size
+
+READ_UNIT_BYTES = 4096
+WRITE_UNIT_BYTES = 1024
+
+
+class ProvisionedKVStore(KeyValueStore):
+    """A latency- and capacity-modeled wrapper over an in-memory store."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        read_capacity_units: float = 200.0,
+        write_capacity_units: float = 200.0,
+        latency: LatencyModel | None = None,
+        on_overload: str = "throttle",
+        rng: RngRegistry | None = None,
+    ) -> None:
+        if on_overload not in ("throttle", "delay"):
+            raise ValueError("on_overload must be 'throttle' or 'delay'")
+        self._scheduler = scheduler
+        self._inner = InMemoryKVStore()
+        self._latency = latency or ConstantLatency(0.005)
+        self._rng = (rng or RngRegistry(0)).stream("dynamo")
+        self._read_bucket = TokenBucket(scheduler, read_capacity_units)
+        self._write_bucket = TokenBucket(scheduler, write_capacity_units)
+        self.on_overload = on_overload
+        self.throttled_reads = 0
+        self.throttled_writes = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    async def _charge(self, bucket: TokenBucket, units: float, kind: str) -> None:
+        if self.on_overload == "delay":
+            await bucket.consume(units)
+            return
+        wait = bucket.try_consume(units)
+        if wait > 0:
+            if kind == "read":
+                self.throttled_reads += 1
+            else:
+                self.throttled_writes += 1
+            raise ThrottlingError(
+                f"provisioned {kind} capacity exceeded "
+                f"(need {units:.2f} units, retry in {wait:.3f}s)"
+            )
+
+    async def _network_round_trip(self) -> None:
+        delay = self._latency.sample(self._rng)
+        if delay > 0:
+            await self._scheduler.sleep(delay)
+
+    @staticmethod
+    def _read_units(value: Any) -> float:
+        size = estimate_size(value)
+        return max(1.0, -(-size // READ_UNIT_BYTES))  # ceil division
+
+    @staticmethod
+    def _write_units(value: Any) -> float:
+        size = estimate_size(value)
+        return max(1.0, -(-size // WRITE_UNIT_BYTES))
+
+    # -- KeyValueStore API ------------------------------------------------------
+
+    async def get(self, key: str) -> Item:
+        item = await self._inner.get(key)
+        await self._charge(self._read_bucket, self._read_units(item.value), "read")
+        await self._network_round_trip()
+        return item
+
+    async def put(self, key: str, value: Any, expected_etag: int | None = None) -> int:
+        await self._charge(self._write_bucket, self._write_units(value), "write")
+        await self._network_round_trip()
+        return await self._inner.put(key, value, expected_etag)
+
+    async def delete(self, key: str) -> bool:
+        await self._charge(self._write_bucket, 1.0, "write")
+        await self._network_round_trip()
+        return await self._inner.delete(key)
+
+    async def scan(self, prefix: str = "") -> list[tuple[str, Item]]:
+        rows = await self._inner.scan(prefix)
+        units = sum(self._read_units(item.value) for _key, item in rows) or 1.0
+        await self._charge(self._read_bucket, units, "read")
+        await self._network_round_trip()
+        return rows
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def reads(self) -> int:
+        """Successful reads against the backing store."""
+        return self._inner.reads
+
+    @property
+    def writes(self) -> int:
+        """Successful writes against the backing store."""
+        return self._inner.writes
+
+    def __len__(self) -> int:
+        return len(self._inner)

@@ -1,0 +1,133 @@
+"""Cluster system storage: membership and reminders (the paper's RDS role).
+
+Orleans keeps "silo instances, reminders, and general system state" in a
+relational system store (Amazon RDS in the paper's deployment).  This module
+provides the same two tables:
+
+- a **membership table** with lease-style liveness (silos announce
+  themselves, refresh a lease, and are suspected dead when it lapses);
+- a **reminder table** for durable timers that must survive actor
+  deactivation (re-read by silos on activation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import SiloUnavailableError
+from ..kernel.scheduler import Scheduler
+
+DEFAULT_LEASE_SECONDS = 30.0
+
+
+@dataclass
+class MembershipEntry:
+    """One silo's row in the membership table."""
+
+    silo_id: str
+    joined_at: float
+    lease_expires_at: float
+    status: str = "active"  # active | suspected | dead
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Reminder:
+    """A durable timer registration."""
+
+    actor_key: str
+    name: str
+    period: float
+    first_due: float
+
+
+class SystemStore:
+    """Membership + reminders, with virtual-time lease expiry."""
+
+    def __init__(
+        self, scheduler: Scheduler, lease_seconds: float = DEFAULT_LEASE_SECONDS
+    ) -> None:
+        self._scheduler = scheduler
+        self.lease_seconds = lease_seconds
+        self._members: dict[str, MembershipEntry] = {}
+        self._reminders: dict[tuple[str, str], Reminder] = {}
+
+    # -- membership ----------------------------------------------------------
+
+    def announce(self, silo_id: str, **metadata: object) -> MembershipEntry:
+        """Insert or revive a silo row with a fresh lease."""
+        now = self._scheduler.now
+        entry = MembershipEntry(
+            silo_id=silo_id,
+            joined_at=now,
+            lease_expires_at=now + self.lease_seconds,
+            metadata=dict(metadata),
+        )
+        self._members[silo_id] = entry
+        return entry
+
+    def refresh_lease(self, silo_id: str) -> None:
+        """Extend a silo's lease; raises if the silo never announced."""
+        entry = self._members.get(silo_id)
+        if entry is None:
+            raise SiloUnavailableError(f"silo {silo_id!r} not in membership table")
+        entry.lease_expires_at = self._scheduler.now + self.lease_seconds
+        entry.status = "active"
+
+    def retire(self, silo_id: str) -> None:
+        """Mark a silo dead (graceful shutdown)."""
+        entry = self._members.get(silo_id)
+        if entry is not None:
+            entry.status = "dead"
+
+    def _effective_status(self, entry: MembershipEntry) -> str:
+        if entry.status == "dead":
+            return "dead"
+        if entry.lease_expires_at < self._scheduler.now:
+            return "suspected"
+        return entry.status
+
+    def active_silos(self) -> list[str]:
+        """Silo ids currently alive (announced, lease not lapsed)."""
+        return [
+            silo_id
+            for silo_id, entry in sorted(self._members.items())
+            if self._effective_status(entry) == "active"
+        ]
+
+    def status_of(self, silo_id: str) -> str:
+        """Return 'active', 'suspected', 'dead' — or raise if unknown."""
+        entry = self._members.get(silo_id)
+        if entry is None:
+            raise SiloUnavailableError(f"silo {silo_id!r} not in membership table")
+        return self._effective_status(entry)
+
+    def members(self) -> Iterable[MembershipEntry]:
+        """All membership rows (for operator tooling and tests)."""
+        return list(self._members.values())
+
+    # -- reminders -------------------------------------------------------------
+
+    def register_reminder(
+        self, actor_key: str, name: str, period: float, first_due: float | None = None
+    ) -> Reminder:
+        """Create or replace a durable reminder for an actor."""
+        if period <= 0:
+            raise ValueError("reminder period must be positive")
+        due = first_due if first_due is not None else self._scheduler.now + period
+        reminder = Reminder(actor_key, name, period, due)
+        self._reminders[(actor_key, name)] = reminder
+        return reminder
+
+    def unregister_reminder(self, actor_key: str, name: str) -> bool:
+        """Remove a reminder; return True if it existed."""
+        return self._reminders.pop((actor_key, name), None) is not None
+
+    def reminders_for(self, actor_key: str) -> list[Reminder]:
+        """All reminders registered for one actor."""
+        return [r for (key, _name), r in self._reminders.items() if key == actor_key]
+
+    def all_reminders(self) -> list[Reminder]:
+        """Every reminder in the table."""
+        return list(self._reminders.values())

@@ -1,0 +1,19 @@
+"""Analytical tier: star-schema export of archived sensor data."""
+
+from .star_schema import (
+    AggregateRow,
+    ChannelDimension,
+    FactRow,
+    StarSchema,
+    parse_channel_id,
+    time_key_of,
+)
+
+__all__ = [
+    "AggregateRow",
+    "ChannelDimension",
+    "FactRow",
+    "StarSchema",
+    "parse_channel_id",
+    "time_key_of",
+]

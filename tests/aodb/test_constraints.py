@@ -1,0 +1,188 @@
+"""Tests for declarative cross-actor constraints (the future-work layer)."""
+
+import pytest
+
+from repro.aodb import ConstraintViolation, RelationshipConstraint, UniquenessConstraint
+from repro.runtime import Actor
+
+
+class Owner(Actor):
+    async def add_member(self, member_id):
+        self.state.setdefault("members", []).append(member_id)
+        return True
+
+    async def remove_member(self, member_id):
+        members = self.state.get("members", [])
+        if member_id not in members:
+            raise ValueError(f"{self.actor_id} does not hold {member_id}")
+        members.remove(member_id)
+        return True
+
+    async def members(self):
+        return list(self.state.get("members", ()))
+
+
+class Member(Actor):
+    indexed_attributes = ("owner_id", "tag")
+
+    async def set_owner(self, owner_id):
+        self.set_indexed("owner_id", owner_id)
+        return owner_id
+
+    async def set_tag(self, tag):
+        self.set_indexed("tag", tag)
+        return tag
+
+
+@pytest.fixture
+def relationship(db):
+    db.register_actor(Owner)
+    db.register_actor(Member)
+    return RelationshipConstraint(
+        db,
+        name="membership",
+        owner_type="Owner",
+        member_type="Member",
+        add_method="add_member",
+        remove_method="remove_member",
+        set_owner_method="set_owner",
+        owner_attribute="owner_id",
+    )
+
+
+def test_declaration_requires_index(db):
+    db.register_actor(Owner)
+
+    class Unindexed(Actor):
+        pass
+
+    db.register_actor(Unindexed)
+    with pytest.raises(ConstraintViolation):
+        RelationshipConstraint(
+            db,
+            name="bad",
+            owner_type="Owner",
+            member_type="Unindexed",
+            add_method="a",
+            remove_method="r",
+            set_owner_method="s",
+            owner_attribute="owner_id",
+        )
+
+
+def test_invalid_mode_rejected(db):
+    db.register_actor(Owner)
+    db.register_actor(Member)
+    with pytest.raises(ValueError):
+        RelationshipConstraint(
+            db, "x", "Owner", "Member", "a", "r", "s", "owner_id", mode="hope"
+        )
+
+
+def test_link_and_verify_consistent(sched, relationship):
+    async def main():
+        await relationship.link("o1", "m1")
+        await relationship.link("o1", "m2")
+        await relationship.link("o2", "m3")
+        return await relationship.verify("members")
+
+    report = sched.run_until_complete(main())
+    assert report.consistent
+    assert report.checked == 3
+
+
+def test_transfer_transactional_applies_and_verifies(sched, relationship):
+    async def main():
+        await relationship.link("o1", "m1")
+        ok = await relationship.transfer("m1", "o1", "o2")
+        report = await relationship.verify("members")
+        members = await relationship.db.ref("Owner", "o2").members()
+        return ok, report, members
+
+    ok, report, members = sched.run_until_complete(main())
+    assert ok is True
+    assert report.consistent
+    assert members == ["m1"]
+
+
+def test_transfer_aborts_cleanly_when_owner_wrong(sched, relationship):
+    async def main():
+        await relationship.link("o1", "m1")
+        ok = await relationship.transfer("m1", "o2", "o3")  # o2 never owned m1
+        report = await relationship.verify("members")
+        return ok, report
+
+    ok, report = sched.run_until_complete(main())
+    assert ok is False
+    assert report.consistent  # rollback restored the world
+
+
+def test_transfer_workflow_mode(sched, db):
+    db.register_actor(Owner)
+    db.register_actor(Member)
+    relationship = RelationshipConstraint(
+        db, "m", "Owner", "Member", "add_member", "remove_member",
+        "set_owner", "owner_id", mode="workflow",
+    )
+
+    async def main():
+        await relationship.link("o1", "m1")
+        ok = await relationship.transfer("m1", "o1", "o2")
+        report = await relationship.verify("members")
+        return ok, report
+
+    ok, report = sched.run_until_complete(main())
+    assert ok is True
+    assert report.consistent
+
+
+def test_verify_detects_corruption(sched, relationship):
+    async def main():
+        await relationship.link("o1", "m1")
+        # Corrupt one side directly (bypassing the constraint).
+        await relationship.db.ref("Owner", "o2").add_member("m1")
+        return await relationship.verify("members")
+
+    report = sched.run_until_complete(main())
+    assert not report.consistent
+    assert any("m1" in violation for violation in report.violations)
+
+
+def test_uniqueness_constraint_claims_and_rejects(sched, db):
+    db.register_actor(Member)
+    unique = UniquenessConstraint(db, "Member", "tag")
+
+    async def main():
+        await unique.claim("m1", "ear-tag-7", "set_tag")
+        with pytest.raises(ConstraintViolation):
+            await unique.claim("m2", "ear-tag-7", "set_tag")
+        await unique.claim("m2", "ear-tag-8", "set_tag")
+        return unique.verify()
+
+    report = sched.run_until_complete(main())
+    assert report.consistent
+    assert report.checked == 2
+
+
+def test_uniqueness_requires_index(db):
+    class Plain(Actor):
+        pass
+
+    db.register_actor(Plain)
+    with pytest.raises(ConstraintViolation):
+        UniquenessConstraint(db, "Plain", "anything")
+
+
+def test_uniqueness_verify_detects_duplicates(sched, db):
+    db.register_actor(Member)
+    unique = UniquenessConstraint(db, "Member", "tag")
+
+    async def main():
+        # Bypass the claim protocol: two actors set the same tag directly.
+        await db.ref("Member", "m1").set_tag("dup")
+        await db.ref("Member", "m2").set_tag("dup")
+        return unique.verify()
+
+    report = sched.run_until_complete(main())
+    assert not report.consistent
+    assert "dup" in report.violations[0]

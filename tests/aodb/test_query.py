@@ -1,0 +1,137 @@
+"""Tests for the declarative query layer."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.runtime import Actor
+
+
+class Sensor(Actor):
+    indexed_attributes = ("project",)
+
+    async def setup(self, project, value):
+        self.set_indexed("project", project)
+        self.state["value"] = value
+        return True
+
+    async def read(self):
+        return self.state.get("value")
+
+    async def scaled(self, factor):
+        return self.state.get("value", 0) * factor
+
+
+@pytest.fixture
+def populated(sched, db):
+    db.register_actor(Sensor)
+
+    async def setup():
+        data = [
+            ("s1", "bridge-a", 10),
+            ("s2", "bridge-a", 20),
+            ("s3", "bridge-b", 30),
+            ("s4", "bridge-b", 40),
+            ("s5", "bridge-b", 50),
+        ]
+        for sensor_id, project, value in data:
+            await db.ref("Sensor", sensor_id).setup(project, value)
+
+    sched.run_until_complete(setup())
+    return db
+
+
+def test_query_with_index_criterion(sched, populated):
+    async def main():
+        rows = await populated.query("Sensor").where(project="bridge-a").call("read").run()
+        return [(r.actor_id, r.value) for r in rows]
+
+    assert sched.run_until_complete(main()) == [("s1", 10), ("s2", 20)]
+
+
+def test_query_full_extent_scan(sched, populated):
+    async def main():
+        rows = await populated.query("Sensor").call("read").run()
+        return sorted(r.value for r in rows)
+
+    assert sched.run_until_complete(main()) == [10, 20, 30, 40, 50]
+
+
+def test_query_with_args(sched, populated):
+    async def main():
+        rows = await (
+            populated.query("Sensor")
+            .where(project="bridge-b")
+            .call("scaled", 2)
+            .run()
+        )
+        return [r.value for r in rows]
+
+    assert sched.run_until_complete(main()) == [60, 80, 100]
+
+
+def test_query_filter_values(sched, populated):
+    async def main():
+        rows = await (
+            populated.query("Sensor")
+            .call("read")
+            .filter_values(lambda v: v >= 30)
+            .run()
+        )
+        return sorted(r.actor_id for r in rows)
+
+    assert sched.run_until_complete(main()) == ["s3", "s4", "s5"]
+
+
+def test_query_limit(sched, populated):
+    async def main():
+        return await populated.query("Sensor").limit(2).call("read").run()
+
+    rows = sched.run_until_complete(main())
+    assert len(rows) == 2
+
+
+def test_query_count_and_ids(sched, populated):
+    async def main():
+        count = await populated.query("Sensor").where(project="bridge-b").count()
+        ids = await populated.query("Sensor").where(project="bridge-a").ids()
+        filtered = await (
+            populated.query("Sensor")
+            .call("read")
+            .filter_values(lambda v: v > 45)
+            .count()
+        )
+        return count, ids, filtered
+
+    assert sched.run_until_complete(main()) == (3, ["s1", "s2"], 1)
+
+
+def test_query_unindexed_criterion_rejected(populated):
+    with pytest.raises(QueryError):
+        populated.query("Sensor").where(value=10)
+
+
+def test_query_unknown_type_rejected(populated):
+    from repro.errors import UnknownActorTypeError
+
+    with pytest.raises(UnknownActorTypeError):
+        populated.query("Nope")
+
+
+def test_query_without_call_rejected(sched, populated):
+    async def main():
+        await populated.query("Sensor").run()
+
+    with pytest.raises(QueryError):
+        sched.run_until_complete(main())
+
+
+def test_query_negative_limit_rejected(populated):
+    with pytest.raises(QueryError):
+        populated.query("Sensor").limit(-1)
+
+
+def test_query_empty_result(sched, populated):
+    async def main():
+        return await populated.query("Sensor").where(project="nope").call("read").run()
+
+    assert sched.run_until_complete(main()) == []

@@ -1,0 +1,141 @@
+"""Tests for saga-style workflows."""
+
+import pytest
+
+from repro.aodb import Workflow
+from repro.kernel import run
+from repro.runtime import Actor
+
+
+def test_all_steps_apply_on_success():
+    log = []
+
+    async def make(name):
+        log.append(name)
+        return name
+
+    workflow = (
+        Workflow("w")
+        .step("one", lambda: make("one"))
+        .step("two", lambda: make("two"))
+    )
+    outcome = run(workflow.run())
+    assert outcome.succeeded
+    assert outcome.applied_steps == ["one", "two"]
+    assert outcome.results == {"one": "one", "two": "two"}
+    assert log == ["one", "two"]
+
+
+def test_failure_compensates_in_reverse_order():
+    log = []
+
+    async def act(name):
+        log.append(("do", name))
+
+    async def undo(name):
+        log.append(("undo", name))
+
+    async def fail():
+        raise ValueError("step 3 failed")
+
+    workflow = (
+        Workflow("w")
+        .step("a", lambda: act("a"), lambda: undo("a"))
+        .step("b", lambda: act("b"), lambda: undo("b"))
+        .step("c", fail, lambda: undo("c"))
+    )
+    outcome = run(workflow.run())
+    assert not outcome.succeeded
+    assert outcome.failed_step == "c"
+    assert isinstance(outcome.error, ValueError)
+    assert outcome.applied_steps == ["a", "b"]
+    assert outcome.compensated_steps == ["b", "a"]
+    assert log == [("do", "a"), ("do", "b"), ("undo", "b"), ("undo", "a")]
+
+
+def test_steps_without_compensation_are_skipped_during_undo():
+    async def ok():
+        return 1
+
+    async def fail():
+        raise RuntimeError("x")
+
+    workflow = Workflow().step("a", ok).step("b", fail)
+    outcome = run(workflow.run())
+    assert not outcome.succeeded
+    assert outcome.compensated_steps == []
+
+
+def test_broken_compensation_is_raised():
+    async def ok():
+        return 1
+
+    async def fail():
+        raise RuntimeError("forward failure")
+
+    async def broken_undo():
+        raise OSError("undo also failed")
+
+    workflow = Workflow().step("a", ok, broken_undo).step("b", fail)
+    with pytest.raises(OSError, match="undo also failed"):
+        run(workflow.run())
+
+
+def test_workflow_over_actors_eventual_consistency(sched, db):
+    """The paper's §4.4 cow-sale example as a workflow instead of a txn."""
+
+    class Farmer(Actor):
+        async def add_cow(self, cow_id):
+            self.state.setdefault("cows", []).append(cow_id)
+            return True
+
+        async def remove_cow(self, cow_id):
+            cows = self.state.get("cows", [])
+            if cow_id not in cows:
+                raise ValueError(f"{self.actor_id} does not own {cow_id}")
+            cows.remove(cow_id)
+            return True
+
+        async def herd(self):
+            return list(self.state.get("cows", ()))
+
+    db.register_actor(Farmer)
+
+    async def main():
+        seller = db.ref("Farmer", "seller")
+        buyer = db.ref("Farmer", "buyer")
+        await seller.add_cow("cow-1")
+
+        sale = (
+            db.workflow("sell-cow")
+            .step(
+                "remove-from-seller",
+                lambda: seller.ask("remove_cow", "cow-1"),
+                lambda: seller.ask("add_cow", "cow-1"),
+            )
+            .step(
+                "add-to-buyer",
+                lambda: buyer.ask("add_cow", "cow-1"),
+                lambda: buyer.ask("remove_cow", "cow-1"),
+            )
+        )
+        outcome = await sale.run()
+        herds_after_sale = (await seller.herd(), await buyer.herd())
+
+        # A second sale of the same cow fails at step 1 and compensates.
+        second = (
+            db.workflow("sell-again")
+            .step(
+                "remove-from-seller",
+                lambda: seller.ask("remove_cow", "cow-1"),
+                lambda: seller.ask("add_cow", "cow-1"),
+            )
+        )
+        second_outcome = await second.run()
+        return outcome, herds_after_sale, second_outcome
+
+    outcome, herds, second_outcome = sched.run_until_complete(main())
+    assert outcome.succeeded
+    assert herds == ([], ["cow-1"])
+    assert not second_outcome.succeeded
+    assert second_outcome.failed_step == "remove-from-seller"

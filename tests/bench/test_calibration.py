@@ -1,0 +1,51 @@
+"""Tests tying the calibration to the paper's reported operating points."""
+
+import pytest
+
+from repro.bench import (
+    M5_LARGE,
+    M5_XLARGE,
+    average_insert_cost,
+    calibrated_config,
+    instance,
+    saturation_request_rate,
+)
+
+
+def test_m5_xlarge_is_1_5x_m5_large():
+    """The paper's ECU ratio between the two instance types."""
+    assert M5_XLARGE.capacity == pytest.approx(1.5 * M5_LARGE.capacity)
+
+
+def test_single_server_saturation_matches_paper():
+    """Figure 6's ~1,800 req/s on an m5.large."""
+    rate = saturation_request_rate(M5_LARGE.capacity)
+    assert rate == pytest.approx(1800, rel=0.02)
+
+
+def test_paper_baseline_arithmetic():
+    """§6.2: 1,800 -> 80% -> 1,400 -> x1.5 ECU -> 2,100 sensors/server."""
+    saturation = saturation_request_rate(M5_LARGE.capacity)
+    after_headroom = round(saturation * 0.8, -2)  # "rounding to nearest 100"
+    assert after_headroom == 1400
+    baseline = after_headroom * 1.5
+    assert baseline == 2100
+
+
+def test_xlarge_baseline_runs_below_saturation():
+    """2,100 sensors must fit an m5.xlarge with query headroom."""
+    demand = 2100 * average_insert_cost()
+    assert demand / M5_XLARGE.capacity == pytest.approx(0.78, abs=0.03)
+
+
+def test_calibrated_config_is_valid():
+    config = calibrated_config()
+    config.validate()
+    assert ("Sensor", "ingest") in config.method_costs
+    assert config.copy_messages is False
+
+
+def test_instance_lookup():
+    assert instance("m5.large") is M5_LARGE
+    with pytest.raises(ValueError):
+        instance("m6.mega")

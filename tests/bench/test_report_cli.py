@@ -1,0 +1,105 @@
+"""Tests for report formatting and the CLI wiring."""
+
+import pytest
+
+from repro.bench.cli import QUICK, RUNNERS, main
+from repro.bench.experiments import AblationResult, FigPoint, FigResult
+from repro.bench.metrics import Summary
+from repro.bench.report import (
+    format_ablation,
+    format_latency_figure,
+    format_result,
+    format_throughput_figure,
+)
+
+
+def make_summary(kind="raw"):
+    return Summary(
+        kind=kind,
+        requests=100,
+        throughput_mean=10.0,
+        throughput_std=0.5,
+        latency_mean=0.1,
+        latency_std=0.01,
+        p50=0.1,
+        p90=0.2,
+        p99=0.3,
+        p999=0.4,
+    )
+
+
+def make_fig(figure="fig6"):
+    result = FigResult(figure, "A title", notes={"key": "value"})
+    result.points.append(
+        FigPoint(
+            sensors=100,
+            servers=1,
+            offered_rps=100.0,
+            throughput=99.0,
+            throughput_std=1.0,
+            utilization=0.5,
+            insert=make_summary("insert"),
+            live=make_summary("live"),
+            raw=make_summary("raw"),
+        )
+    )
+    return result
+
+
+def test_throughput_table_contains_series():
+    text = format_throughput_figure(make_fig())
+    assert "sensors" in text
+    assert "100" in text
+    assert "99" in text
+    assert "key: value" in text
+
+
+def test_latency_table_renders_percentiles_in_ms():
+    text = format_latency_figure(make_fig("fig8"), "raw")
+    assert "p99.9 ms" in text
+    assert "400" in text  # 0.4 s -> 400 ms
+
+
+def test_latency_table_handles_missing_summary():
+    fig = make_fig("fig9")
+    fig.points[0].live = None
+    text = format_latency_figure(fig, "live")
+    assert "-" in text
+
+
+def test_format_ablation_renders_rows():
+    ablation = AblationResult(
+        "demo", rows=[{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}], notes={"n": 2}
+    )
+    text = format_ablation(ablation)
+    assert "demo" in text
+    assert "2.5" in text
+    assert "n: 2" in text
+
+
+def test_format_ablation_empty():
+    assert "no rows" in format_ablation(AblationResult("empty"))
+
+
+def test_format_result_dispatch():
+    assert "fig6" in format_result(make_fig("fig6"))
+    assert "fig8" in format_result(make_fig("fig8"))
+    assert "fig9" in format_result(make_fig("fig9"))
+    assert "demo" in format_result(AblationResult("demo", rows=[{"x": 1}]))
+
+
+def test_cli_quick_keys_are_valid_runners():
+    assert set(QUICK) <= set(RUNNERS)
+
+
+def test_cli_runs_one_quick_ablation(capsys):
+    exit_code = main(["granularity", "--quick"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "granularity" in captured.out
+    assert "model_a_actors" in captured.out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["fig99"])

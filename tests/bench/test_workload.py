@@ -1,0 +1,91 @@
+"""Tests of the load generator on small deployments."""
+
+import pytest
+
+from repro.bench import LoadConfig, M5_LARGE, M5_XLARGE, build_deployment, execute, provision
+
+
+@pytest.fixture
+def small_deployment():
+    deployment = build_deployment([M5_LARGE], seed=17)
+    deployment.scheduler.run_until_complete(provision(deployment, 20))
+    return deployment
+
+
+def test_provision_builds_paper_structure(small_deployment):
+    report = small_deployment.report
+    assert report.sensors == 20
+    assert report.organizations == 1
+    assert report.physical_channels == 40
+    assert report.virtual_channels == 2
+
+
+def test_provision_resets_cpu_accounting(small_deployment):
+    for silo in small_deployment.runtime.silos():
+        assert silo.cpu.busy_seconds == 0.0
+
+
+def test_run_load_sustains_one_request_per_sensor_per_second(small_deployment):
+    result = execute(small_deployment, LoadConfig(sensors=20, duration=6.0))
+    summary = result.summary("insert")
+    assert summary.throughput_mean == pytest.approx(20.0)
+    assert summary.requests == 20 * 4  # 6s minus first+last trimmed windows
+
+
+def test_run_load_records_queries_when_enabled(small_deployment):
+    result = execute(
+        small_deployment, LoadConfig(sensors=20, duration=6.0, with_queries=True)
+    )
+    assert result.summary("live") is not None
+    assert result.summary("raw") is not None
+
+
+def test_run_load_without_queries_records_none(small_deployment):
+    result = execute(small_deployment, LoadConfig(sensors=20, duration=6.0))
+    assert result.summary("live") is None
+
+
+def test_run_requires_provision_first():
+    deployment = build_deployment([M5_LARGE])
+    with pytest.raises(RuntimeError):
+        execute(deployment, LoadConfig(sensors=5, duration=2.0))
+
+
+def test_multi_silo_partitioning_is_round_robin():
+    deployment = build_deployment([M5_XLARGE, M5_XLARGE], seed=18)
+    deployment.scheduler.run_until_complete(
+        provision(deployment, 200, sensors_per_org=100)
+    )
+    # Each org's subtree landed on its own silo.
+    silos = deployment.runtime.silos()
+    counts = [silo.activation_count for silo in silos]
+    assert counts[0] == counts[1]
+    # Sensors of org-0 live on silo-0, org-1 on silo-1.
+    from repro.runtime import ActorKey
+
+    directory = deployment.runtime.directory
+    assert directory.lookup(ActorKey("Sensor", "org-0/s-0")) == "silo-0"
+    assert directory.lookup(ActorKey("Sensor", "org-1/s-0")) == "silo-1"
+
+
+def test_deterministic_given_seed():
+    results = []
+    for _ in range(2):
+        deployment = build_deployment([M5_LARGE], seed=99)
+        deployment.scheduler.run_until_complete(provision(deployment, 30))
+        result = execute(
+            deployment, LoadConfig(sensors=30, duration=5.0, with_queries=True)
+        )
+        summary = result.summary("insert")
+        results.append((summary.requests, summary.p50, summary.p999))
+    assert results[0] == results[1]
+
+
+def test_utilization_scales_with_sensors():
+    utilizations = []
+    for sensors in (100, 400):
+        deployment = build_deployment([M5_LARGE], seed=5)
+        deployment.scheduler.run_until_complete(provision(deployment, sensors))
+        result = execute(deployment, LoadConfig(sensors=sensors, duration=4.0))
+        utilizations.append(result.mean_utilization)
+    assert utilizations[1] == pytest.approx(4 * utilizations[0], rel=0.05)

@@ -1,0 +1,68 @@
+"""Unit tests for geospatial primitives."""
+
+import pytest
+
+from repro.cattle import GeoFence, haversine_meters, rectangle_fence, trajectory_length_meters
+
+
+def test_haversine_zero_distance():
+    assert haversine_meters(55.0, 11.0, 55.0, 11.0) == 0.0
+
+
+def test_haversine_known_distance():
+    # Copenhagen (55.676, 12.568) to Campinas (-22.907, -47.063): ~9,900 km.
+    distance = haversine_meters(55.676, 12.568, -22.907, -47.063)
+    assert distance == pytest.approx(9_900_000, rel=0.05)
+
+
+def test_haversine_one_degree_latitude():
+    # One degree of latitude is ~111.2 km everywhere.
+    distance = haversine_meters(0.0, 0.0, 1.0, 0.0)
+    assert distance == pytest.approx(111_200, rel=0.01)
+
+
+def test_haversine_symmetry():
+    a = haversine_meters(55.0, 11.0, 56.0, 12.0)
+    b = haversine_meters(56.0, 12.0, 55.0, 11.0)
+    assert a == pytest.approx(b)
+
+
+def test_rectangle_fence_contains():
+    fence = rectangle_fence("pasture", 55.0, 11.0, 56.0, 12.0)
+    assert fence.contains(55.5, 11.5)
+    assert not fence.contains(54.9, 11.5)
+    assert not fence.contains(55.5, 12.1)
+
+
+def test_rectangle_fence_validation():
+    with pytest.raises(ValueError):
+        rectangle_fence("bad", 56.0, 11.0, 55.0, 12.0)
+
+
+def test_fence_needs_three_vertices():
+    with pytest.raises(ValueError):
+        GeoFence("line", ((0.0, 0.0), (1.0, 1.0)))
+
+
+def test_triangle_fence():
+    fence = GeoFence("tri", ((0.0, 0.0), (0.0, 10.0), (10.0, 5.0)))
+    assert fence.contains(2.0, 5.0)
+    assert not fence.contains(9.0, 1.0)
+
+
+def test_fence_vertex_counts_as_inside():
+    fence = rectangle_fence("p", 0.0, 0.0, 1.0, 1.0)
+    assert fence.contains(0.0, 0.0)
+
+
+def test_fence_round_trip_dict():
+    fence = rectangle_fence("p", 0.0, 0.0, 1.0, 1.0)
+    rebuilt = GeoFence.from_dict(fence.as_dict())
+    assert rebuilt == fence
+
+
+def test_trajectory_length():
+    points = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]
+    assert trajectory_length_meters(points) == pytest.approx(2 * 111_200, rel=0.01)
+    assert trajectory_length_meters([]) == 0.0
+    assert trajectory_length_meters([(1.0, 1.0)]) == 0.0

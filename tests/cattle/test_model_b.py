@@ -1,0 +1,132 @@
+"""Model B (Figure 5): versioned non-actor objects for meat cuts/products."""
+
+import pytest
+
+from repro.cattle import new_version
+from repro.errors import LifecycleError, UnknownEntityError
+
+from .conftest import seed_chain
+
+
+async def seed_model_b(platform):
+    await seed_chain(platform)
+    await platform.runtime.ref("SlaughterhouseB", "shb-1").setup("Crown B")
+    await platform.runtime.ref("DistributorB", "distb-1").setup("Logistics B")
+    await platform.runtime.ref("RetailerB", "retb-1").setup("Mart B")
+
+
+def test_new_version_chains_provenance():
+    first = new_version("cut-1", "sh", 1.0, {"status": "fresh"}, None)
+    second = new_version("cut-1", "dist", 2.0, first["payload"], first)
+    assert first["version"] == 1
+    assert second["version"] == 2
+    assert [link["holder"] for link in second["chain"]] == ["sh", "dist"]
+    # Payload is copied, not shared.
+    second["payload"]["status"] = "changed"
+    assert first["payload"]["status"] == "fresh"
+
+
+def test_model_b_full_chain(sched, platform):
+    async def main():
+        await seed_model_b(platform)
+        sh = platform.runtime.ref("SlaughterhouseB", "shb-1")
+        cut_ids = await sh.slaughter_cow("cow-1", timestamp=10.0, cuts=3)
+        await sh.ship_cuts(cut_ids, "distb-1", timestamp=20.0)
+        dist = platform.runtime.ref("DistributorB", "distb-1")
+        in_transit = await dist.held_entities()
+        await dist.deliver_cuts(cut_ids, "retb-1", timestamp=30.0)
+        ret = platform.runtime.ref("RetailerB", "retb-1")
+        product_id = await ret.create_product(cut_ids[:2], timestamp=40.0)
+        await ret.sell_product(product_id, timestamp=50.0)
+        trace = await ret.trace_product(product_id)
+        return cut_ids, in_transit, product_id, trace
+
+    cut_ids, in_transit, product_id, trace = sched.run_until_complete(main())
+    assert sorted(in_transit) == sorted(cut_ids)
+    assert trace["sold_at"] == 50.0
+    assert len(trace["cuts"]) == 2
+    # Each embedded cut version carries its full holder chain locally.
+    chains = [[link["holder"] for link in cut["chain"]] for cut in trace["cuts"]]
+    assert all(chain == ["shb-1", "distb-1", "retb-1"] for chain in chains)
+
+
+def test_model_b_local_info_needs_no_remote_calls(sched, platform):
+    async def main():
+        await seed_model_b(platform)
+        sh = platform.runtime.ref("SlaughterhouseB", "shb-1")
+        cut_ids = await sh.slaughter_cow("cow-1", timestamp=10.0, cuts=1)
+        before = platform.runtime.stats.asks
+        info = await sh.local_info(cut_ids[0])
+        after = platform.runtime.stats.asks
+        return info, after - before
+
+    info, asks = sched.run_until_complete(main())
+    assert info["payload"]["cow_id"] == "cow-1"
+    assert asks == 1  # only the local_info call itself
+
+
+def test_model_b_release_requires_holding(sched, platform):
+    async def main():
+        await seed_model_b(platform)
+        sh = platform.runtime.ref("SlaughterhouseB", "shb-1")
+        with pytest.raises(UnknownEntityError):
+            await sh.ship_cuts(["phantom"], "distb-1", 1.0)
+
+    sched.run_until_complete(main())
+
+
+def test_model_b_version_moves_not_copies_current(sched, platform):
+    """After shipping, the slaughterhouse no longer holds the version."""
+
+    async def main():
+        await seed_model_b(platform)
+        sh = platform.runtime.ref("SlaughterhouseB", "shb-1")
+        cut_ids = await sh.slaughter_cow("cow-1", timestamp=10.0, cuts=1)
+        await sh.ship_cuts(cut_ids, "distb-1", timestamp=20.0)
+        with pytest.raises(UnknownEntityError):
+            await sh.local_info(cut_ids[0])
+        return await sh.held_entities()
+
+    held = sched.run_until_complete(main())
+    assert held == []
+
+
+def test_model_b_double_sale_rejected(sched, platform):
+    async def main():
+        await seed_model_b(platform)
+        sh = platform.runtime.ref("SlaughterhouseB", "shb-1")
+        cut_ids = await sh.slaughter_cow("cow-1", timestamp=10.0, cuts=1)
+        await sh.ship_cuts(cut_ids, "distb-1", 20.0)
+        await platform.runtime.ref("DistributorB", "distb-1").deliver_cuts(
+            cut_ids, "retb-1", 30.0
+        )
+        ret = platform.runtime.ref("RetailerB", "retb-1")
+        product_id = await ret.create_product(cut_ids, timestamp=40.0)
+        await ret.sell_product(product_id, 50.0)
+        with pytest.raises(LifecycleError):
+            await ret.sell_product(product_id, 51.0)
+
+    sched.run_until_complete(main())
+
+
+def test_models_a_and_b_coexist(sched, platform):
+    """Both representations run in the same AODB (the §4.3 ablation setup)."""
+
+    async def main():
+        await seed_model_b(platform)
+        # Model A for cow-1, model B for cow-2.
+        a_cuts = await platform.runtime.ref("Slaughterhouse", "sh-1").slaughter_cow(
+            "cow-1", timestamp=10.0, cuts=2
+        )
+        b_cuts = await platform.runtime.ref("SlaughterhouseB", "shb-1").slaughter_cow(
+            "cow-2", timestamp=10.0, cuts=2
+        )
+        a_trace = await platform.runtime.ref("MeatCut", a_cuts[0]).trace()
+        b_info = await platform.runtime.ref("SlaughterhouseB", "shb-1").local_info(
+            b_cuts[0]
+        )
+        return a_trace, b_info
+
+    a_trace, b_info = sched.run_until_complete(main())
+    assert a_trace["cow_id"] == "cow-1"
+    assert b_info["payload"]["cow_id"] == "cow-2"

@@ -1,0 +1,176 @@
+"""Supply-chain tests (model A): slaughter, delivery, retail, tracing."""
+
+import pytest
+
+from repro.cattle import build_product_trace_graph, origin_farms, summarize_trace
+from repro.errors import LifecycleError, UnknownEntityError
+
+from .conftest import seed_chain
+
+
+async def run_full_chain(platform, sched):
+    """Farm → slaughter → delivery → retail → product → sale."""
+    await seed_chain(platform)
+    sh = platform.runtime.ref("Slaughterhouse", "sh-1")
+    cut_ids = await sh.slaughter_cow("cow-1", timestamp=100.0, cuts=4)
+    distributor = platform.runtime.ref("Distributor", "dist-1")
+    delivery_id = await distributor.create_delivery(cut_ids, "sh-1", "ret-1")
+    delivery = platform.runtime.ref("Delivery", delivery_id)
+    await delivery.start(timestamp=110.0)
+    await delivery.complete(timestamp=120.0)
+    await sched.sleep(1)  # receive_cuts is one-way
+    retailer = platform.runtime.ref("Retailer", "ret-1")
+    product_id = await retailer.create_product(cut_ids[:2], timestamp=130.0)
+    await retailer.sell_product(product_id, timestamp=140.0)
+    return cut_ids, delivery_id, product_id
+
+
+def test_slaughter_creates_cuts_and_updates_herd(sched, platform):
+    async def main():
+        await seed_chain(platform)
+        sh = platform.runtime.ref("Slaughterhouse", "sh-1")
+        cut_ids = await sh.slaughter_cow("cow-1", timestamp=10.0, cuts=3)
+        await sched.sleep(1)  # herd removal is one-way
+        herd = await platform.runtime.ref("Farmer", "farm-1").herd()
+        statuses = await platform.cows_with_status("slaughtered")
+        return cut_ids, herd, statuses
+
+    cut_ids, herd, statuses = sched.run_until_complete(main())
+    assert cut_ids == ["cow-1/cut-0", "cow-1/cut-1", "cow-1/cut-2"]
+    assert herd == ["cow-2"]
+    assert statuses == ["cow-1"]
+
+
+def test_cow_cannot_be_slaughtered_twice(sched, platform):
+    async def main():
+        await seed_chain(platform)
+        sh = platform.runtime.ref("Slaughterhouse", "sh-1")
+        await sh.slaughter_cow("cow-1", timestamp=10.0)
+        with pytest.raises(LifecycleError):
+            await sh.slaughter_cow("cow-1", timestamp=11.0)
+
+    sched.run_until_complete(main())
+
+
+def test_incoming_cow_info_service(sched, platform):
+    async def main():
+        await seed_chain(platform)
+        sh = platform.runtime.ref("Slaughterhouse", "sh-1")
+        return await sh.incoming_cow_info("cow-1")
+
+    info = sched.run_until_complete(main())
+    assert info["cow"]["owner_id"] == "farm-1"
+    assert info["history"][0]["kind"] == "birth"
+
+
+def test_full_chain_and_cut_itinerary(sched, platform):
+    async def main():
+        cut_ids, delivery_id, product_id = await run_full_chain(platform, sched)
+        cut_trace = await platform.runtime.ref("MeatCut", cut_ids[0]).trace()
+        return cut_ids, delivery_id, product_id, cut_trace
+
+    cut_ids, delivery_id, product_id, cut_trace = sched.run_until_complete(main())
+    kinds = [leg["kind"] for leg in cut_trace["itinerary"]]
+    assert kinds == [
+        "transformation",
+        "delivery_start",
+        "delivery_end",
+        "transformation",
+    ]
+    assert cut_trace["status"] == "transformed"
+    assert cut_trace["product_ids"] == [product_id]
+
+
+def test_custody_index_tracks_holders(sched, platform):
+    async def main():
+        await seed_chain(platform)
+        sh = platform.runtime.ref("Slaughterhouse", "sh-1")
+        cut_ids = await sh.slaughter_cow("cow-1", timestamp=10.0, cuts=2)
+        at_sh = await platform.cuts_held_by("sh-1")
+        distributor = platform.runtime.ref("Distributor", "dist-1")
+        delivery_id = await distributor.create_delivery(cut_ids, "sh-1", "ret-1")
+        await platform.runtime.ref("Delivery", delivery_id).start(11.0)
+        in_transit = await platform.cuts_held_by("dist-1")
+        return at_sh, in_transit
+
+    at_sh, in_transit = sched.run_until_complete(main())
+    assert len(at_sh) == 2
+    assert sorted(in_transit) == sorted(at_sh)
+
+
+def test_delivery_lifecycle_enforced(sched, platform):
+    async def main():
+        await seed_chain(platform)
+        sh = platform.runtime.ref("Slaughterhouse", "sh-1")
+        cut_ids = await sh.slaughter_cow("cow-1", timestamp=10.0)
+        distributor = platform.runtime.ref("Distributor", "dist-1")
+        delivery_id = await distributor.create_delivery(cut_ids, "sh-1", "ret-1")
+        delivery = platform.runtime.ref("Delivery", delivery_id)
+        with pytest.raises(LifecycleError):
+            await delivery.complete(11.0)  # not started
+        await delivery.start(11.0)
+        with pytest.raises(LifecycleError):
+            await delivery.start(12.0)  # already in transit
+        await delivery.complete(13.0)
+        return await delivery.describe()
+
+    description = sched.run_until_complete(main())
+    assert description["status"] == "completed"
+    assert description["started_at"] == 11.0
+
+
+def test_retailer_requires_stock_for_products(sched, platform):
+    async def main():
+        await seed_chain(platform)
+        retailer = platform.runtime.ref("Retailer", "ret-1")
+        with pytest.raises(UnknownEntityError):
+            await retailer.create_product(["phantom-cut"], timestamp=1.0)
+
+    sched.run_until_complete(main())
+
+
+def test_product_cannot_sell_twice(sched, platform):
+    async def main():
+        _, _, product_id = await run_full_chain(platform, sched)
+        retailer = platform.runtime.ref("Retailer", "ret-1")
+        with pytest.raises(LifecycleError):
+            await retailer.sell_product(product_id, timestamp=999.0)
+
+    sched.run_until_complete(main())
+
+
+def test_consumer_trace_reaches_farm(sched, platform):
+    async def main():
+        _, _, product_id = await run_full_chain(platform, sched)
+        return await platform.trace_product(product_id)
+
+    trace = sched.run_until_complete(main())
+    assert trace["retailer_id"] == "ret-1"
+    assert len(trace["cuts"]) == 2
+    assert all(cut["cow_id"] == "cow-1" for cut in trace["cuts"])
+    assert trace["sold_at"] == 140.0
+
+
+def test_trace_graph_assembly(sched, platform):
+    async def main():
+        _, delivery_id, product_id = await run_full_chain(platform, sched)
+        graph = await build_product_trace_graph(platform.db, product_id)
+        return graph, product_id, delivery_id
+
+    graph, product_id, delivery_id = sched.run_until_complete(main())
+    assert origin_farms(graph, product_id) == ["farm-1"]
+    kinds = {graph.nodes[n]["kind"] for n in graph.nodes}
+    assert kinds == {"farmer", "cow", "slaughterhouse", "cut", "delivery", "retailer", "product"}
+    summary = summarize_trace(graph, product_id)
+    assert summary["entities"]["cut"] == 2
+    assert summary["entities"]["cow"] == 1
+
+
+def test_transformed_cut_cannot_restart_transit(sched, platform):
+    async def main():
+        cut_ids, _, _ = await run_full_chain(platform, sched)
+        cut = platform.runtime.ref("MeatCut", cut_ids[0])
+        with pytest.raises(LifecycleError):
+            await cut.start_transit("d2", "dist-1", 999.0)
+
+    sched.run_until_complete(main())

@@ -1,0 +1,131 @@
+"""Tracking tests: collar ingestion, trajectories, geo-fencing, herds."""
+
+import pytest
+
+from repro.cattle import rectangle_fence
+from repro.errors import LifecycleError, UnknownEntityError
+
+from .conftest import seed_chain
+
+
+def reading(ts, lat, lon, activity=0.5):
+    return {
+        "timestamp": ts,
+        "latitude": lat,
+        "longitude": lon,
+        "activity": activity,
+        "temperature": 38.5,
+    }
+
+
+def test_register_cow_updates_both_sides(sched, platform):
+    async def main():
+        await seed_chain(platform)
+        herd = await platform.runtime.ref("Farmer", "farm-1").herd()
+        owner = (await platform.runtime.ref("Cow", "cow-1").describe())["owner_id"]
+        return herd, owner
+
+    herd, owner = sched.run_until_complete(main())
+    assert herd == ["cow-1", "cow-2"]
+    assert owner == "farm-1"
+
+
+def test_double_registration_rejected(sched, platform):
+    async def main():
+        await seed_chain(platform)
+        with pytest.raises(LifecycleError):
+            await platform.register_cow("cow-1", "farm-1")
+
+    sched.run_until_complete(main())
+
+
+def test_collar_readings_build_trajectory(sched, platform):
+    async def main():
+        await seed_chain(platform)
+        cow = platform.runtime.ref("Cow", "cow-1")
+        for i in range(5):
+            await cow.record_reading(reading(float(i), 55.0 + i * 0.001, 11.0))
+        location = await cow.current_location()
+        trajectory = await cow.trajectory(1.0, 4.0)
+        travelled = await cow.travelled_meters()
+        return location, trajectory, travelled
+
+    location, trajectory, travelled = sched.run_until_complete(main())
+    assert location["timestamp"] == 4.0
+    assert [r["timestamp"] for r in trajectory] == [1.0, 2.0, 3.0]
+    assert travelled == pytest.approx(4 * 0.001 * 111_200, rel=0.02)
+
+
+def test_geofence_breach_reported_to_farmer(sched, platform):
+    async def main():
+        await seed_chain(platform)
+        farmer = platform.runtime.ref("Farmer", "farm-1")
+        fence = rectangle_fence("north-pasture", 55.0, 11.0, 55.1, 11.1)
+        await farmer.define_fence(fence.as_dict())
+        await farmer.assign_fence("cow-1", "north-pasture")
+        cow = platform.runtime.ref("Cow", "cow-1")
+        inside = await cow.record_reading(reading(0.0, 55.05, 11.05))
+        outside = await cow.record_reading(reading(1.0, 55.5, 11.05))
+        await sched.sleep(1)  # breach report is one-way
+        breaches = await farmer.breaches()
+        return inside, outside, breaches
+
+    inside, outside, breaches = sched.run_until_complete(main())
+    assert inside["inside_fence"] is True
+    assert outside["inside_fence"] is False
+    assert len(breaches) == 1
+    assert breaches[0]["cow_id"] == "cow-1"
+    assert breaches[0]["fence"] == "north-pasture"
+
+
+def test_assign_fence_requires_ownership(sched, platform):
+    async def main():
+        await seed_chain(platform)
+        farmer = platform.runtime.ref("Farmer", "farm-1")
+        fence = rectangle_fence("p", 0, 0, 1, 1)
+        await farmer.define_fence(fence.as_dict())
+        with pytest.raises(UnknownEntityError):
+            await farmer.assign_fence("not-my-cow", "p")
+        with pytest.raises(UnknownEntityError):
+            await farmer.assign_fence("cow-1", "no-such-fence")
+
+    sched.run_until_complete(main())
+
+
+def test_herd_locations_fan_out(sched, platform):
+    async def main():
+        await seed_chain(platform)
+        await platform.runtime.ref("Cow", "cow-1").record_reading(
+            reading(0.0, 55.0, 11.0)
+        )
+        return await platform.runtime.ref("Farmer", "farm-1").herd_locations()
+
+    locations = sched.run_until_complete(main())
+    assert locations["cow-1"]["latitude"] == 55.0
+    assert locations["cow-2"] is None  # no readings yet
+
+
+def test_owner_index_supports_queries(sched, platform):
+    async def main():
+        await seed_chain(platform)
+        await platform.register_farmer("farm-2", "Other Farm")
+        await platform.register_cow("cow-3", "farm-2")
+        return await platform.cows_of("farm-1"), await platform.cows_of("farm-2")
+
+    farm1, farm2 = sched.run_until_complete(main())
+    assert farm1 == ["cow-1", "cow-2"]
+    assert farm2 == ["cow-3"]
+
+
+def test_reading_rejected_after_slaughter(sched, platform):
+    async def main():
+        await seed_chain(platform)
+        await platform.runtime.ref("Slaughterhouse", "sh-1").slaughter_cow(
+            "cow-1", timestamp=10.0
+        )
+        with pytest.raises(LifecycleError):
+            await platform.runtime.ref("Cow", "cow-1").record_reading(
+                reading(11.0, 55.0, 11.0)
+            )
+
+    sched.run_until_complete(main())

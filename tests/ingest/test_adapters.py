@@ -1,0 +1,123 @@
+"""Unit tests for device payload adapters."""
+
+import pytest
+
+from repro.ingest import (
+    AdapterError,
+    BinaryFrameAdapter,
+    CsvLineAdapter,
+    JsonDocumentAdapter,
+    default_registry,
+)
+
+
+def test_json_adapter_parses_document():
+    adapter = JsonDocumentAdapter()
+    payload = {
+        "channels": {
+            "org-0/s-0/c-0": [{"t": 1.0, "v": 2.5}, {"t": 1.1, "v": 2.6}],
+            "org-0/s-0/c-1": [{"t": 1.0, "v": 9.0}],
+        }
+    }
+    batch = adapter.parse(payload)
+    assert batch["org-0/s-0/c-0"] == [(1.0, 2.5), (1.1, 2.6)]
+    assert batch["org-0/s-0/c-1"] == [(1.0, 9.0)]
+
+
+def test_json_adapter_rejects_bad_shapes():
+    adapter = JsonDocumentAdapter()
+    with pytest.raises(AdapterError):
+        adapter.parse([1, 2, 3])
+    with pytest.raises(AdapterError):
+        adapter.parse({"channels": "not-a-mapping"})
+    with pytest.raises(AdapterError):
+        adapter.parse({"channels": {"c": [{"t": "x", "v": 1}]}})
+    with pytest.raises(AdapterError):
+        adapter.parse({"channels": {"c": [{"value": 1}]}})
+
+
+def test_csv_adapter_parses_lines_with_comments():
+    adapter = CsvLineAdapter()
+    text = """# logger upload
+    org-0/s-0/c-0, 1.0, 2.5
+    org-0/s-0/c-0, 1.1, 2.6
+
+    org-0/s-0/c-1, 1.0, 9.0
+    """
+    batch = adapter.parse(text)
+    assert batch["org-0/s-0/c-0"] == [(1.0, 2.5), (1.1, 2.6)]
+    assert batch["org-0/s-0/c-1"] == [(1.0, 9.0)]
+
+
+def test_csv_adapter_accepts_bytes():
+    batch = CsvLineAdapter().parse(b"c0,1.0,2.0")
+    assert batch == {"c0": [(1.0, 2.0)]}
+
+
+def test_csv_adapter_rejects_malformed():
+    adapter = CsvLineAdapter()
+    with pytest.raises(AdapterError):
+        adapter.parse("only,two")
+    with pytest.raises(AdapterError):
+        adapter.parse("c0,abc,1.0")
+    with pytest.raises(AdapterError):
+        adapter.parse(12345)
+
+
+def test_binary_adapter_round_trip():
+    table = ["c0", "c1"]
+    batch = {"c0": [(1.0, 2.5), (1.1, 2.6)], "c1": [(1.0, 9.0)]}
+    frame = BinaryFrameAdapter.encode(table, batch)
+    parsed = BinaryFrameAdapter(table).parse(frame)
+    assert parsed == batch
+
+
+def test_binary_adapter_rejects_corruption():
+    table = ["c0"]
+    adapter = BinaryFrameAdapter(table)
+    good = BinaryFrameAdapter.encode(table, {"c0": [(1.0, 2.0)]})
+    with pytest.raises(AdapterError):
+        adapter.parse(good[:-1])  # truncated
+    with pytest.raises(AdapterError):
+        adapter.parse(b"\x00")  # shorter than header
+    with pytest.raises(AdapterError):
+        adapter.parse("not bytes")
+    # Unknown channel index.
+    other = BinaryFrameAdapter.encode(["c0", "c1"], {"c1": [(1.0, 2.0)]})
+    with pytest.raises(AdapterError):
+        adapter.parse(other)
+    # Bad version.
+    with pytest.raises(AdapterError):
+        adapter.parse(b"\x00\x63\x00\x00")
+
+
+def test_binary_adapter_needs_channel_table():
+    with pytest.raises(ValueError):
+        BinaryFrameAdapter([])
+
+
+def test_registry_dispatches_and_rejects_unknown():
+    registry = default_registry(binary_channel_table=["c0"])
+    assert registry.formats() == ["binary", "csv", "json"]
+    assert registry.parse("csv", "c0,1,2") == {"c0": [(1.0, 2.0)]}
+    with pytest.raises(AdapterError):
+        registry.parse("xml", "<reading/>")
+
+
+def test_all_dialects_normalize_identically():
+    table = ["c0", "c1"]
+    registry = default_registry(binary_channel_table=table)
+    batch = {"c0": [(1.0, 2.5)], "c1": [(1.0, 9.0)]}
+    as_json = {
+        "channels": {
+            cid: [{"t": t, "v": v} for t, v in points]
+            for cid, points in batch.items()
+        }
+    }
+    as_csv = "\n".join(
+        f"{cid},{t},{v}" for cid, points in batch.items() for t, v in points
+    )
+    as_binary = BinaryFrameAdapter.encode(table, batch)
+    assert registry.parse("json", as_json) == batch
+    assert registry.parse("csv", as_csv) == batch
+    assert registry.parse("binary", as_binary) == batch

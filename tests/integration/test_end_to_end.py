@@ -1,0 +1,198 @@
+"""Cross-module integration tests: platform + storage + cluster lifecycle."""
+
+import pytest
+
+from repro.aodb import AodbDatabase
+from repro.errors import ThrottlingError
+from repro.kernel import Scheduler
+from repro.net import ConstantLatency, Network
+from repro.runtime import AodbRuntime, RuntimeConfig, WritePolicy
+from repro.shm import ShmPlatform, channel_id_for, sensor_id_for
+from repro.storage import InMemoryKVStore, ProvisionedKVStore
+
+
+def make_platform(sched, store=None, **config_kwargs):
+    config_kwargs.setdefault("default_method_cost", 0.0)
+    config_kwargs.setdefault("activation_cost", 0.0)
+    config = RuntimeConfig(**config_kwargs)
+    network = Network(sched, lan=ConstantLatency(0.0005))
+    runtime = AodbRuntime(
+        sched, config=config, network=network, grain_storage=store
+    )
+    runtime.add_silo("silo-1", cores=4)
+    runtime.add_silo("silo-2", cores=4)
+    return ShmPlatform(AodbDatabase(runtime))
+
+
+def ingest_batches(sensor_id, start, count=10):
+    return {
+        channel_id_for(sensor_id, c): [
+            (start + i * 0.1, float(c + i)) for i in range(count)
+        ]
+        for c in (0, 1)
+    }
+
+
+def test_platform_state_survives_full_cluster_restart(sched=None):
+    """Deactivate every actor (silo shutdown), then serve queries again."""
+    sched = Scheduler()
+    store = InMemoryKVStore()
+    platform = make_platform(sched, store=store)
+    runtime = platform.runtime
+
+    async def main():
+        await platform.provision(total_sensors=4)
+        sensor_id = sensor_id_for("org-0", 0)
+        await platform.ingest(sensor_id, ingest_batches(sensor_id, 0.0))
+        await sched.sleep(1)
+        # Stop both silos: all durable state flushes.
+        await runtime.shutdown_silo("silo-1")
+        await runtime.shutdown_silo("silo-2")
+        assert runtime.total_activations() == 0
+        # Bring a fresh silo up; virtual actors reactivate from storage.
+        runtime.add_silo("silo-3", cores=4)
+        raw = await platform.raw_range(channel_id_for(sensor_id, 0), 0.0, 10.0)
+        summary = await platform.organization_summary("org-0")
+        return raw, summary
+
+    raw, summary = sched.run_until_complete(main())
+    assert len(raw) == 10  # the channel window was persisted and restored
+    assert summary["sensors"] == 4
+
+
+def test_throttled_storage_delays_but_preserves_writes():
+    """A DynamoDB-like store in delay mode absorbs a flush burst slowly."""
+    sched = Scheduler()
+    store = ProvisionedKVStore(
+        sched, write_capacity_units=10, on_overload="delay",
+        latency=ConstantLatency(0.001),
+    )
+    platform = make_platform(sched, store=store)
+
+    async def main():
+        await platform.provision(total_sensors=10)
+        before = sched.now
+        await platform.runtime.shutdown_silo("silo-1")
+        await platform.runtime.shutdown_silo("silo-2")
+        return sched.now - before
+
+    elapsed = sched.run_until_complete(main())
+    # 10 sensors => dozens of durable actors flushing through 10 WCU/s.
+    assert store.writes >= 30
+    assert elapsed > 1.0  # the flush was genuinely throttled
+
+
+def test_throttled_storage_raises_in_throttle_mode():
+    sched = Scheduler()
+    store = ProvisionedKVStore(
+        sched, write_capacity_units=2, on_overload="throttle",
+        latency=ConstantLatency(0.001),
+    )
+    config = RuntimeConfig(default_method_cost=0.0, activation_cost=0.0)
+    runtime = AodbRuntime(sched, config=config, grain_storage=store)
+    runtime.add_silo("s1", cores=2)
+
+    from repro.runtime import Actor
+
+    class Durable(Actor):
+        durable = True
+        write_policy = WritePolicy.WRITE_THROUGH
+
+        async def put(self, v):
+            self.state["v"] = v
+
+    runtime.register_actor(Durable)
+
+    async def main():
+        # Burst capacity 2: the third write-through must surface the error.
+        await runtime.ref("Durable", "a").put(1)
+        await runtime.ref("Durable", "b").put(1)
+        with pytest.raises(ThrottlingError):
+            await runtime.ref("Durable", "c").put(1)
+
+    sched.run_until_complete(main())
+
+
+def test_ingestion_continues_while_idle_collection_runs():
+    sched = Scheduler()
+    platform = make_platform(
+        sched, idle_timeout=5.0, collection_interval=2.0
+    )
+    platform.runtime.start()
+
+    async def main():
+        await platform.provision(total_sensors=2)
+        hot = sensor_id_for("org-0", 0)
+        # Only sensor 0 stays hot; sensor 1's subtree idles out.
+        for wave in range(20):
+            await platform.ingest(hot, ingest_batches(hot, float(wave)))
+            await sched.sleep(1.0)
+        collected = platform.runtime.stats.activations_collected
+        # The cold subtree reactivates transparently on demand.
+        cold_channel = channel_id_for(sensor_id_for("org-0", 1), 0)
+        raw = await platform.raw_range(cold_channel, 0.0, 100.0)
+        return collected, raw
+
+    collected, raw = sched.run_until_complete(main())
+    assert collected > 0
+    assert raw == []  # never ingested, but reachable
+
+
+def test_cross_silo_alert_flow():
+    """Alerts hop from channel (silo A) to organization (silo B)."""
+    sched = Scheduler()
+    platform = make_platform(sched)
+    runtime = platform.runtime
+    from repro.runtime import ActorKey
+
+    rule = {
+        "rule_id": "r", "high": 5.0, "low": None, "channel_id": None,
+        "sensor_type": None, "cooldown_seconds": 0.0, "message": "hot",
+    }
+
+    async def main():
+        runtime.pinned_placement.pin(ActorKey("Organization", "org-0"), "silo-1")
+        runtime.pinned_placement.pin_prefix("Sensor/org-0/", "silo-2")
+        await platform.provision(total_sensors=1, sensors_per_org=100)
+        sensor_id = sensor_id_for("org-0", 0)
+        org_silo = runtime.directory.lookup(ActorKey("Organization", "org-0"))
+        sensor_silo = runtime.directory.lookup(ActorKey("Sensor", sensor_id))
+        await runtime.ref("Organization", "org-0").add_alert_rule("r", high=5.0)
+        await sched.sleep(0.1)
+        await platform.ingest(
+            sensor_id,
+            {channel_id_for(sensor_id, 0): [(0.0, 10.0)]},
+        )
+        await sched.sleep(1)
+        alerts = await platform.alerts("org-0")
+        return org_silo, sensor_silo, alerts
+
+    org_silo, sensor_silo, alerts = sched.run_until_complete(main())
+    assert org_silo != sensor_silo  # genuinely cross-silo
+    assert len(alerts) == 1
+    assert alerts[0]["value"] == 10.0
+
+
+def test_query_layer_spans_case_study_actors():
+    """AODB queries work against the SHM actors (extent scan + fan-out)."""
+    sched = Scheduler()
+    platform = make_platform(sched)
+
+    async def main():
+        await platform.provision(total_sensors=5)
+        for index in range(5):
+            sensor_id = sensor_id_for("org-0", index)
+            await platform.ingest(
+                sensor_id, {channel_id_for(sensor_id, 0): [(0.0, float(index))]}
+            )
+        rows = await (
+            platform.db.query("PhysicalSensorChannel")
+            .call("latest")
+            .filter_values(lambda v: v is not None and v[1] >= 3.0)
+            .run()
+        )
+        return rows
+
+    rows = sched.run_until_complete(main())
+    assert len(rows) == 2
+    assert all(row.value[1] >= 3.0 for row in rows)

@@ -1,0 +1,142 @@
+"""Unit tests for kernel futures."""
+
+import pytest
+
+from repro.errors import CancelledError, InvalidStateError
+from repro.kernel import Future, all_of, any_of, completed, failed
+
+
+def test_future_starts_pending():
+    fut = Future("x")
+    assert not fut.done()
+    assert not fut.cancelled()
+
+
+def test_result_before_done_raises():
+    fut = Future()
+    with pytest.raises(InvalidStateError):
+        fut.result()
+    with pytest.raises(InvalidStateError):
+        fut.exception()
+
+
+def test_set_result_resolves():
+    fut = Future()
+    fut.set_result(42)
+    assert fut.done()
+    assert fut.result() == 42
+    assert fut.exception() is None
+
+
+def test_set_exception_rejects():
+    fut = Future()
+    fut.set_exception(ValueError("boom"))
+    assert fut.done()
+    with pytest.raises(ValueError, match="boom"):
+        fut.result()
+    assert isinstance(fut.exception(), ValueError)
+
+
+def test_double_resolution_raises():
+    fut = Future()
+    fut.set_result(1)
+    with pytest.raises(InvalidStateError):
+        fut.set_result(2)
+    with pytest.raises(InvalidStateError):
+        fut.set_exception(RuntimeError())
+
+
+def test_cancel_pending_future():
+    fut = Future("c")
+    assert fut.cancel()
+    assert fut.cancelled()
+    with pytest.raises(CancelledError):
+        fut.result()
+
+
+def test_cancel_done_future_is_noop():
+    fut = Future()
+    fut.set_result(1)
+    assert not fut.cancel()
+    assert fut.result() == 1
+
+
+def test_callbacks_run_on_resolution_in_order():
+    fut = Future()
+    seen = []
+    fut.add_done_callback(lambda f: seen.append(("a", f.result())))
+    fut.add_done_callback(lambda f: seen.append(("b", f.result())))
+    fut.set_result(7)
+    assert seen == [("a", 7), ("b", 7)]
+
+
+def test_callback_on_already_done_future_runs_immediately():
+    fut = completed(5)
+    seen = []
+    fut.add_done_callback(lambda f: seen.append(f.result()))
+    assert seen == [5]
+
+
+def test_completed_and_failed_helpers():
+    assert completed("v").result() == "v"
+    with pytest.raises(KeyError):
+        failed(KeyError("k")).result()
+
+
+def test_all_of_empty_resolves_immediately():
+    combined = all_of([])
+    assert combined.done()
+    assert combined.result() == []
+
+
+def test_all_of_preserves_order():
+    futures = [Future(str(i)) for i in range(3)]
+    combined = all_of(futures)
+    futures[2].set_result("c")
+    futures[0].set_result("a")
+    assert not combined.done()
+    futures[1].set_result("b")
+    assert combined.result() == ["a", "b", "c"]
+
+
+def test_all_of_rejects_on_first_error():
+    futures = [Future(), Future()]
+    combined = all_of(futures)
+    futures[1].set_exception(RuntimeError("first"))
+    assert combined.done()
+    with pytest.raises(RuntimeError, match="first"):
+        combined.result()
+    # Later resolutions of remaining inputs must not corrupt the result.
+    futures[0].set_result(1)
+    with pytest.raises(RuntimeError, match="first"):
+        combined.result()
+
+
+def test_all_of_treats_cancellation_as_error():
+    futures = [Future(), Future()]
+    combined = all_of(futures)
+    futures[0].cancel()
+    with pytest.raises(CancelledError):
+        combined.result()
+
+
+def test_any_of_mirrors_first_completion():
+    futures = [Future(), Future()]
+    combined = any_of(futures)
+    futures[1].set_result("winner")
+    assert combined.result() == "winner"
+    futures[0].set_result("late")
+    assert combined.result() == "winner"
+
+
+def test_any_of_requires_inputs():
+    with pytest.raises(ValueError):
+        any_of([])
+
+
+def test_any_of_mirrors_first_error():
+    futures = [Future(), Future()]
+    combined = any_of(futures)
+    futures[0].set_exception(ValueError("bad"))
+    with pytest.raises(ValueError, match="bad"):
+        combined.result()

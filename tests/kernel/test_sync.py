@@ -1,0 +1,178 @@
+"""Unit tests for kernel synchronization primitives."""
+
+import pytest
+
+from repro.errors import MailboxOverflowError
+from repro.kernel import Event, Lock, Queue, Scheduler, Semaphore
+
+
+@pytest.fixture
+def sched():
+    return Scheduler()
+
+
+def test_event_wait_and_set(sched):
+    event = Event(sched)
+    woken = []
+
+    async def waiter(name):
+        await event.wait()
+        woken.append(name)
+
+    async def main():
+        sched.spawn(waiter("a"))
+        sched.spawn(waiter("b"))
+        await sched.sleep(1)
+        assert woken == []
+        event.set()
+        await sched.sleep(0)
+
+    sched.run_until_complete(main())
+    assert woken == ["a", "b"]
+    assert event.is_set()
+
+
+def test_event_wait_after_set_is_immediate(sched):
+    event = Event(sched)
+    event.set()
+
+    async def main():
+        before = sched.now
+        await event.wait()
+        return sched.now - before
+
+    assert sched.run_until_complete(main()) == 0.0
+
+
+def test_event_clear_blocks_again(sched):
+    event = Event(sched)
+    event.set()
+    event.clear()
+    assert not event.is_set()
+
+
+def test_lock_mutual_exclusion_and_fifo(sched):
+    lock = Lock(sched)
+    order = []
+
+    async def worker(name, hold):
+        async with lock:
+            order.append(("in", name))
+            await sched.sleep(hold)
+            order.append(("out", name))
+
+    async def main():
+        tasks = [
+            sched.spawn(worker("a", 2)),
+            sched.spawn(worker("b", 1)),
+            sched.spawn(worker("c", 1)),
+        ]
+        await sched.gather(tasks)
+
+    sched.run_until_complete(main())
+    assert order == [
+        ("in", "a"), ("out", "a"),
+        ("in", "b"), ("out", "b"),
+        ("in", "c"), ("out", "c"),
+    ]
+    assert not lock.locked
+
+
+def test_lock_release_unlocked_raises(sched):
+    with pytest.raises(RuntimeError):
+        Lock(sched).release()
+
+
+def test_semaphore_limits_concurrency(sched):
+    sem = Semaphore(sched, 2)
+    concurrent = 0
+    peak = 0
+
+    async def worker():
+        nonlocal concurrent, peak
+        async with sem:
+            concurrent += 1
+            peak = max(peak, concurrent)
+            await sched.sleep(1)
+            concurrent -= 1
+
+    async def main():
+        await sched.gather([sched.spawn(worker()) for _ in range(6)])
+
+    sched.run_until_complete(main())
+    assert peak == 2
+    assert sem.value == 2
+
+
+def test_semaphore_negative_value_rejected(sched):
+    with pytest.raises(ValueError):
+        Semaphore(sched, -1)
+
+
+def test_queue_fifo_order(sched):
+    queue = Queue(sched)
+
+    async def main():
+        queue.put_nowait(1)
+        queue.put_nowait(2)
+        first = await queue.get()
+        second = await queue.get()
+        return first, second
+
+    assert sched.run_until_complete(main()) == (1, 2)
+
+
+def test_queue_get_blocks_until_put(sched):
+    queue = Queue(sched)
+    got = []
+
+    async def consumer():
+        got.append(await queue.get())
+
+    async def main():
+        sched.spawn(consumer())
+        await sched.sleep(5)
+        assert got == []
+        queue.put_nowait("late")
+        await sched.sleep(0)
+
+    sched.run_until_complete(main())
+    assert got == ["late"]
+
+
+def test_bounded_queue_overflow(sched):
+    queue = Queue(sched, maxsize=2)
+    queue.put_nowait(1)
+    queue.put_nowait(2)
+    assert queue.full()
+    with pytest.raises(MailboxOverflowError):
+        queue.put_nowait(3)
+
+
+def test_queue_handoff_bypasses_capacity(sched):
+    # A waiting getter receives the item directly, so a full queue is not
+    # an error when someone is actively waiting.
+    queue = Queue(sched, maxsize=1)
+    got = []
+
+    async def consumer():
+        got.append(await queue.get())
+        got.append(await queue.get())
+
+    async def main():
+        sched.spawn(consumer())
+        await sched.sleep(0)
+        queue.put_nowait("a")
+        queue.put_nowait("b")
+        await sched.sleep(0)
+
+    sched.run_until_complete(main())
+    assert got == ["a", "b"]
+
+
+def test_queue_drain_nowait(sched):
+    queue = Queue(sched)
+    for i in range(4):
+        queue.put_nowait(i)
+    assert queue.drain_nowait() == [0, 1, 2, 3]
+    assert queue.empty()

@@ -1,0 +1,70 @@
+"""Unit tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.net import ConstantLatency, LogNormalLatency, UniformLatency, ZERO_LATENCY
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+def test_constant_latency(rng):
+    model = ConstantLatency(0.003)
+    assert model.sample(rng) == 0.003
+    assert model.sample(rng) == 0.003
+
+
+def test_constant_latency_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantLatency(-1)
+
+
+def test_zero_latency_singleton(rng):
+    assert ZERO_LATENCY.sample(rng) == 0.0
+
+
+def test_uniform_latency_within_bounds(rng):
+    model = UniformLatency(0.001, 0.002)
+    samples = [model.sample(rng) for _ in range(200)]
+    assert all(0.001 <= s <= 0.002 for s in samples)
+    assert len(set(samples)) > 1  # actually jitters
+
+
+def test_uniform_latency_validation():
+    with pytest.raises(ValueError):
+        UniformLatency(-0.1, 0.2)
+    with pytest.raises(ValueError):
+        UniformLatency(0.2, 0.1)
+
+
+def test_lognormal_latency_positive_and_skewed(rng):
+    model = LogNormalLatency(median=0.001, sigma=0.5)
+    samples = sorted(model.sample(rng) for _ in range(2000))
+    assert all(s > 0 for s in samples)
+    median = samples[len(samples) // 2]
+    mean = sum(samples) / len(samples)
+    assert median == pytest.approx(0.001, rel=0.15)
+    assert mean > median  # right skew
+
+
+def test_lognormal_zero_sigma_is_deterministic(rng):
+    model = LogNormalLatency(median=0.004, sigma=0.0)
+    assert model.sample(rng) == 0.004
+
+
+def test_lognormal_validation():
+    with pytest.raises(ValueError):
+        LogNormalLatency(median=0)
+    with pytest.raises(ValueError):
+        LogNormalLatency(median=1, sigma=-1)
+
+
+def test_determinism_with_same_seed():
+    model = UniformLatency(0, 1)
+    first = [model.sample(random.Random(7)) for _ in range(1)]
+    second = [model.sample(random.Random(7)) for _ in range(1)]
+    assert first == second

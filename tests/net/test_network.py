@@ -1,0 +1,93 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.kernel import RngRegistry, Scheduler
+from repro.net import ConstantLatency, Network
+
+
+@pytest.fixture
+def sched():
+    return Scheduler()
+
+
+@pytest.fixture
+def net(sched):
+    network = Network(
+        sched,
+        rng=RngRegistry(1),
+        loopback=ConstantLatency(0.0),
+        lan=ConstantLatency(0.001),
+    )
+    network.register("silo-a")
+    network.register("silo-b")
+    return network
+
+
+def test_loopback_is_free(sched, net):
+    async def main():
+        await net.transfer("silo-a", "silo-a")
+        return sched.now
+
+    assert sched.run_until_complete(main()) == 0.0
+    assert net.stats.loopback_messages == 1
+    assert net.stats.remote_messages == 0
+
+
+def test_remote_transfer_charges_lan_latency(sched, net):
+    async def main():
+        await net.transfer("silo-a", "silo-b")
+        return sched.now
+
+    assert sched.run_until_complete(main()) == pytest.approx(0.001)
+    assert net.stats.remote_messages == 1
+    assert net.stats.total_latency == pytest.approx(0.001)
+
+
+def test_unknown_endpoints_rejected(sched, net):
+    async def bad_target():
+        await net.transfer("silo-a", "nowhere")
+
+    async def bad_source():
+        await net.transfer("nowhere", "silo-a")
+
+    with pytest.raises(KeyError):
+        sched.run_until_complete(bad_target())
+    with pytest.raises(KeyError):
+        sched.run_until_complete(bad_source())
+
+
+def test_unregister_removes_endpoint(sched, net):
+    net.unregister("silo-b")
+    assert not net.knows("silo-b")
+
+    async def main():
+        await net.transfer("silo-a", "silo-b")
+
+    with pytest.raises(KeyError):
+        sched.run_until_complete(main())
+
+
+def test_per_path_override(sched, net):
+    net.set_path_latency("silo-a", "silo-b", ConstantLatency(0.5))
+
+    async def main():
+        await net.transfer("silo-a", "silo-b")
+        forward = sched.now
+        await net.transfer("silo-b", "silo-a")  # override is directional
+        return forward, sched.now
+
+    forward, total = sched.run_until_complete(main())
+    assert forward == pytest.approx(0.5)
+    assert total == pytest.approx(0.501)
+
+
+def test_stats_count_per_endpoint(sched, net):
+    async def main():
+        await net.transfer("silo-a", "silo-b")
+        await net.transfer("silo-a", "silo-b")
+        await net.transfer("silo-b", "silo-a")
+
+    sched.run_until_complete(main())
+    assert net.stats.per_endpoint_sent == {"silo-a": 2, "silo-b": 1}
+    assert net.stats.messages == 3

@@ -1,0 +1,110 @@
+"""Property-based tests of kernel invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import CpuResource, Scheduler, TokenBucket
+
+costs_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(costs=costs_strategy, cores=st.integers(min_value=1, max_value=8))
+@settings(max_examples=25, deadline=None)
+def test_cpu_work_conservation(costs, cores):
+    """Total busy time equals the sum of submitted work; the makespan is
+    bounded below by both the critical path and perfect speedup."""
+    sched = Scheduler()
+    cpu = CpuResource(sched, cores=cores)
+    finish_times = []
+
+    async def job(cost):
+        await cpu.consume(cost)
+        finish_times.append(sched.now)
+
+    async def main():
+        await sched.gather([sched.spawn(job(cost)) for cost in costs])
+
+    sched.run_until_complete(main())
+    total = sum(costs)
+    assert cpu.busy_seconds == sum(costs) * 1.0 / cpu.speed
+    makespan = max(finish_times)
+    assert makespan >= max(costs) - 1e-9
+    assert makespan >= total / cores - 1e-9
+    # FCFS with simultaneous arrival can never do worse than serial.
+    assert makespan <= total + 1e-9
+
+
+@given(costs=costs_strategy)
+@settings(max_examples=20, deadline=None)
+def test_single_core_serializes_in_submission_order(costs):
+    sched = Scheduler()
+    cpu = CpuResource(sched, cores=1)
+    completion_order = []
+
+    async def job(index, cost):
+        await cpu.consume(cost)
+        completion_order.append(index)
+
+    async def main():
+        await sched.gather(
+            [sched.spawn(job(i, cost)) for i, cost in enumerate(costs)]
+        )
+
+    sched.run_until_complete(main())
+    positive = [i for i in completion_order]
+    assert positive == sorted(positive)
+
+
+@given(
+    rate=st.floats(min_value=0.5, max_value=100.0),
+    burst=st.floats(min_value=1.0, max_value=50.0),
+    amounts=st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20),
+)
+@settings(max_examples=25, deadline=None)
+def test_token_bucket_never_overdraws(rate, burst, amounts):
+    """Tokens consumed over any horizon never exceed burst + rate * time."""
+    sched = Scheduler()
+    bucket = TokenBucket(sched, rate=rate, burst=burst)
+    consumed = 0.0
+
+    async def main():
+        nonlocal consumed
+        for amount in amounts:
+            if amount <= burst:
+                await bucket.consume(amount)
+                consumed += amount
+
+    sched.run_until_complete(main())
+    assert consumed <= burst + rate * sched.now + 1e-6
+    assert bucket.tokens >= -1e-9
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_sleeps_complete_in_timestamp_order(delays):
+    sched = Scheduler()
+    completions = []
+
+    async def sleeper(delay):
+        await sched.sleep(delay)
+        completions.append((sched.now, delay))
+
+    async def main():
+        await sched.gather([sched.spawn(sleeper(d)) for d in delays])
+
+    sched.run_until_complete(main())
+    times = [t for t, _ in completions]
+    assert times == sorted(times)
+    for completed_at, delay in completions:
+        assert completed_at == delay
+    assert sched.now == max(delays)

@@ -1,0 +1,131 @@
+"""Property-based tests of actor-runtime invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Scheduler
+from repro.net import ConstantLatency, Network
+from repro.runtime import Actor, AodbRuntime, RuntimeConfig
+
+
+def build_runtime(seed=0, silos=2, cost=0.0):
+    sched = Scheduler()
+    config = RuntimeConfig(
+        default_method_cost=cost, activation_cost=0.0, seed=seed
+    )
+    runtime = AodbRuntime(
+        sched, config=config, network=Network(sched, lan=ConstantLatency(0.0001))
+    )
+    for i in range(silos):
+        runtime.add_silo(f"silo-{i}", cores=2)
+    return sched, runtime
+
+
+class Counter(Actor):
+    def __init__(self, context):
+        super().__init__(context)
+        self.value = 0
+        self.active_turns = 0
+        self.overlap_detected = False
+
+    async def add(self, amount, hold):
+        # Turn-based execution: no other message may run inside this one.
+        self.active_turns += 1
+        if self.active_turns > 1:
+            self.overlap_detected = True
+        await self.context.runtime.scheduler.sleep(hold)
+        self.value += amount
+        self.active_turns -= 1
+        return self.value
+
+    async def read(self):
+        return self.value, self.overlap_detected
+
+
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),   # target actor
+            st.integers(min_value=-100, max_value=100),  # amount
+            st.floats(min_value=0.0, max_value=0.01),    # hold time
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    seed=st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=20, deadline=None)
+def test_concurrent_asks_linearize_per_actor(operations, seed):
+    """Any interleaving of asks yields exact sums and no turn overlap."""
+    sched, runtime = build_runtime(seed=seed)
+    runtime.register_actor(Counter)
+
+    async def main():
+        futures = [
+            runtime.ref("Counter", f"c{target}").ask("add", amount, hold)
+            for target, amount, hold in operations
+        ]
+        await sched.gather(futures)
+        results = {}
+        for target in {target for target, _, _ in operations}:
+            results[target] = await runtime.ref("Counter", f"c{target}").read()
+        return results
+
+    results = sched.run_until_complete(main())
+    for target, (value, overlapped) in results.items():
+        expected = sum(amount for t, amount, _ in operations if t == target)
+        assert value == expected
+        assert not overlapped
+
+
+@given(
+    keys=st.lists(
+        st.text(
+            alphabet="abcdefghij", min_size=1, max_size=6
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    seed=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=20, deadline=None)
+def test_virtual_actor_identity_is_stable(keys, seed):
+    """The same key always reaches the same (single) activation."""
+    sched, runtime = build_runtime(seed=seed)
+    runtime.register_actor(Counter)
+
+    async def main():
+        for key in keys:
+            await runtime.ref("Counter", key).add(1, 0.0)
+        totals = {}
+        for key in set(keys):
+            value, _ = await runtime.ref("Counter", key).read()
+            totals[key] = value
+        return totals
+
+    totals = sched.run_until_complete(main())
+    for key in set(keys):
+        assert totals[key] == keys.count(key)
+    assert runtime.total_activations() == len(set(keys))
+
+
+@given(seed=st.integers(min_value=0, max_value=200))
+@settings(max_examples=15, deadline=None)
+def test_runs_are_deterministic_across_identical_seeds(seed):
+    """Two runtimes with the same seed produce identical trajectories."""
+
+    def run_once():
+        sched, runtime = build_runtime(seed=seed, cost=0.001)
+        runtime.register_actor(Counter)
+
+        async def main():
+            futures = [
+                runtime.ref("Counter", f"c{i % 3}").ask("add", i, 0.001)
+                for i in range(12)
+            ]
+            await sched.gather(futures)
+            return sched.now, runtime.describe_cluster()["silos"]
+
+        return sched.run_until_complete(main())
+
+    assert run_once() == run_once()

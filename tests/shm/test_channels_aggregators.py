@@ -1,0 +1,140 @@
+"""Focused tests for channel and aggregator actors (durability, edge cases)."""
+
+import pytest
+
+from repro.shm import aggregator_id_for, channel_id_for, sensor_id_for
+
+from .conftest import points_for
+
+
+def test_channel_window_survives_deactivation(sched, platform):
+    async def main():
+        await platform.provision(total_sensors=1)
+        sensor_id = sensor_id_for("org-0", 0)
+        c0 = channel_id_for(sensor_id, 0)
+        await platform.ingest(sensor_id, {c0: points_for(0, 0.0)})
+        await platform.runtime.deactivate("PhysicalSensorChannel", c0)
+        # Reactivation restores the window and accumulated change.
+        raw = await platform.raw_range(c0, 0.0, 10.0)
+        change = await platform.accumulated_change(c0)
+        return raw, change
+
+    raw, change = sched.run_until_complete(main())
+    assert len(raw) == 10
+    assert change["count"] == 10
+
+
+def test_virtual_channel_pending_buffer_bounded(sched, platform):
+    async def main():
+        await platform.provision(total_sensors=1)
+        sensor_id = sensor_id_for("org-0", 0)
+        c0 = channel_id_for(sensor_id, 0)
+        # Channel 1 never delivers: pending timestamps accumulate but must
+        # stay bounded (stale halves are dropped).
+        for wave in range(300):
+            await platform.ingest(
+                sensor_id,
+                {c0: [(float(wave * 10 + i), 1.0) for i in range(10)]},
+            )
+        await sched.sleep(1)
+        vc = platform.runtime.ref("VirtualSensorChannel", f"{sensor_id}/vc")
+        return await vc.pending_count()
+
+    pending = sched.run_until_complete(main())
+    assert pending <= 1024
+
+
+def test_virtual_channel_out_of_order_arrival_still_joins(sched, platform):
+    async def main():
+        await platform.provision(total_sensors=1)
+        sensor_id = sensor_id_for("org-0", 0)
+        c0, c1 = channel_id_for(sensor_id, 0), channel_id_for(sensor_id, 1)
+        # c1's batch arrives first, then c0's: join must still happen.
+        await platform.ingest(sensor_id, {c1: [(0.0, 10.0), (0.1, 20.0)]})
+        await platform.ingest(sensor_id, {c0: [(0.0, 1.0), (0.1, 2.0)]})
+        await sched.sleep(1)
+        return await platform.raw_range(f"{sensor_id}/vc", 0.0, 1.0, virtual=True)
+
+    derived = sched.run_until_complete(main())
+    assert derived == [(0.0, 11.0), (0.1, 22.0)]
+
+
+def test_aggregator_bucket_rollover_forwards_downstream(sched, platform):
+    async def main():
+        await platform.provision(total_sensors=1)
+        sensor_id = sensor_id_for("org-0", 0)
+        c0 = channel_id_for(sensor_id, 0)
+        # Cross three hour boundaries.
+        for hour in range(3):
+            await platform.ingest(
+                sensor_id, {c0: [(hour * 3600.0 + 10.0, float(hour))]}
+            )
+        await sched.sleep(1)
+        day = platform.runtime.ref("Aggregator", aggregator_id_for(c0, "day"))
+        return await day.describe(), await day.series(0.0, 86400.0)
+
+    description, series = sched.run_until_complete(main())
+    # Two closed hour buckets were forwarded (the third is still open).
+    assert len(series) == 1
+    assert series[0][1]["count"] == 2
+
+
+def test_aggregator_flush_forces_open_bucket(sched, platform):
+    async def main():
+        await platform.provision(total_sensors=1)
+        sensor_id = sensor_id_for("org-0", 0)
+        c0 = channel_id_for(sensor_id, 0)
+        await platform.ingest(sensor_id, {c0: [(5.0, 3.0)]})
+        await sched.sleep(1)
+        hour = platform.runtime.ref("Aggregator", aggregator_id_for(c0, "hour"))
+        flushed = await hour.flush()
+        await sched.sleep(1)
+        day_series = await platform.aggregates(c0, "day", 0.0, 86400.0)
+        return flushed, day_series
+
+    flushed, day_series = sched.run_until_complete(main())
+    assert flushed is True
+    assert day_series[0][1]["count"] == 1
+
+
+def test_aggregator_state_survives_deactivation(sched, platform):
+    async def main():
+        await platform.provision(total_sensors=1)
+        sensor_id = sensor_id_for("org-0", 0)
+        c0 = channel_id_for(sensor_id, 0)
+        await platform.ingest(sensor_id, {c0: points_for(0, 0.0)})
+        await sched.sleep(1)
+        aggregator_id = aggregator_id_for(c0, "hour")
+        await platform.runtime.deactivate("Aggregator", aggregator_id)
+        series = await platform.aggregates(c0, "hour", 0.0, 3600.0)
+        return series
+
+    series = sched.run_until_complete(main())
+    assert series[0][1]["count"] == 10
+
+
+def test_aggregator_configure_validation(sched, platform):
+    async def main():
+        agg = platform.runtime.ref("Aggregator", "custom/agg")
+        with pytest.raises(ValueError):
+            await agg.configure("c", level="fortnight")
+        # But an explicit bucket size makes any level label fine.
+        return await agg.configure("c", level="fortnight", bucket_seconds=1209600.0)
+
+    result = sched.run_until_complete(main())
+    assert result["level"] == "fortnight"
+
+
+def test_channel_depth_and_recent(sched, platform):
+    async def main():
+        await platform.provision(total_sensors=1)
+        sensor_id = sensor_id_for("org-0", 0)
+        c0 = channel_id_for(sensor_id, 0)
+        await platform.ingest(sensor_id, {c0: points_for(0, 0.0)})
+        channel = platform.runtime.ref("PhysicalSensorChannel", c0)
+        return await channel.depth(), await channel.recent(3)
+
+    depth, recent = sched.run_until_complete(main())
+    assert depth == 10
+    assert len(recent) == 3
+    assert recent[-1][0] == pytest.approx(0.9)

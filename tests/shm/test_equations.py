@@ -1,0 +1,96 @@
+"""Unit tests for virtual-channel equations."""
+
+import pytest
+
+from repro.shm import (
+    EquationError,
+    ExpressionEquation,
+    MeanEquation,
+    SumEquation,
+    WeightedEquation,
+    equation_from_description,
+)
+
+
+def test_sum_equation():
+    eq = SumEquation()
+    assert eq.evaluate({"a": 1.0, "b": 2.0}) == 3.0
+
+
+def test_mean_equation():
+    eq = MeanEquation()
+    assert eq.evaluate({"a": 1.0, "b": 3.0}) == 2.0
+    with pytest.raises(EquationError):
+        eq.evaluate({})
+
+
+def test_weighted_equation():
+    eq = WeightedEquation((("a", 2.0), ("b", -1.0)))
+    assert eq.evaluate({"a": 3.0, "b": 4.0}) == 2.0
+
+
+def test_weighted_missing_input():
+    eq = WeightedEquation((("a", 1.0),))
+    with pytest.raises(EquationError):
+        eq.evaluate({"b": 1.0})
+
+
+def test_expression_equation_arithmetic():
+    eq = ExpressionEquation("2 * x + y / 4", (("x", "ch-a"), ("y", "ch-b")))
+    assert eq.evaluate({"ch-a": 3.0, "ch-b": 8.0}) == 8.0
+
+
+def test_expression_equation_functions():
+    eq = ExpressionEquation("hypot(ax, ay)", (("ax", "c0"), ("ay", "c1")))
+    assert eq.evaluate({"c0": 3.0, "c1": 4.0}) == 5.0
+
+
+def test_expression_equation_unary():
+    eq = ExpressionEquation("-x + abs(x)", (("x", "c"),))
+    assert eq.evaluate({"c": -2.0}) == 4.0
+
+
+def test_expression_rejects_undeclared_variable():
+    with pytest.raises(EquationError, match="undeclared"):
+        ExpressionEquation("x + y", (("x", "c0"),))
+
+
+def test_expression_rejects_dangerous_syntax():
+    for bad in [
+        "__import__('os')",
+        "x.denominator",
+        "[1,2][0]",
+        "lambda: 1",
+        "x if x else 0",
+    ]:
+        with pytest.raises(EquationError):
+            ExpressionEquation(bad, (("x", "c"),))
+
+
+def test_expression_rejects_syntax_error():
+    with pytest.raises(EquationError):
+        ExpressionEquation("x +", (("x", "c"),))
+
+
+def test_expression_missing_input_at_eval():
+    eq = ExpressionEquation("x", (("x", "c0"),))
+    with pytest.raises(EquationError):
+        eq.evaluate({"other": 1.0})
+
+
+def test_round_trip_descriptions():
+    equations = [
+        SumEquation(),
+        MeanEquation(),
+        WeightedEquation((("a", 1.5),)),
+        ExpressionEquation("x * 2", (("x", "c0"),)),
+    ]
+    for eq in equations:
+        rebuilt = equation_from_description(eq.describe())
+        assert type(rebuilt) is type(eq)
+    assert equation_from_description({"kind": "sum"}).evaluate({"a": 1}) == 1
+
+
+def test_unknown_description_kind():
+    with pytest.raises(EquationError):
+        equation_from_description({"kind": "mystery"})

@@ -1,0 +1,149 @@
+"""Focused tests for the Organization actor (tenancy, roles, alerts)."""
+
+import pytest
+
+from repro.errors import AuthorizationError, UnknownEntityError
+from repro.shm import channel_id_for, sensor_id_for
+
+
+@pytest.fixture
+def org(sched, platform):
+    async def setup():
+        await platform.provision(total_sensors=2)
+        return platform.runtime.ref("Organization", "org-0")
+
+    return sched.run_until_complete(setup())
+
+
+def test_role_matrix(sched, platform, org):
+    async def main():
+        await org.add_user("eng", "E", role="engineer")
+        await org.add_user("ana", "A", role="data_analyst")
+        await org.add_user("mnt", "M", role="maintenance")
+        results = {}
+        for user, action in [
+            ("eng", "read_data"),
+            ("ana", "read_data"),
+            ("mnt", "manage_structure"),
+            ("admin", "manage_users"),
+        ]:
+            results[(user, action)] = await org.check_access(user, action)
+        return results
+
+    results = sched.run_until_complete(main())
+    assert all(results.values())
+
+
+def test_role_matrix_denials(sched, platform, org):
+    async def main():
+        await org.add_user("eng", "E", role="engineer")
+        await org.add_user("ana", "A", role="data_analyst")
+        denials = []
+        for user, action in [
+            ("eng", "manage_users"),
+            ("ana", "manage_structure"),
+            ("ana", "manage_users"),
+        ]:
+            try:
+                await org.check_access(user, action)
+            except AuthorizationError:
+                denials.append((user, action))
+        return denials
+
+    denials = sched.run_until_complete(main())
+    assert len(denials) == 3
+
+
+def test_invalid_role_rejected(sched, platform, org):
+    async def main():
+        with pytest.raises(ValueError):
+            await org.add_user("x", "X", role="overlord")
+
+    sched.run_until_complete(main())
+
+
+def test_register_sensor_requires_project(sched, platform, org):
+    async def main():
+        with pytest.raises(UnknownEntityError):
+            await org.register_sensor("no-such-project", "s", "extension", ["c"])
+
+    sched.run_until_complete(main())
+
+
+def test_alert_rule_scoped_to_channel(sched, platform, org):
+    async def main():
+        sensor_id = sensor_id_for("org-0", 0)
+        target = channel_id_for(sensor_id, 0)
+        other = channel_id_for(sensor_id, 1)
+        pushed = await org.add_alert_rule("scoped", high=1.0, channel_id=target)
+        await sched.sleep(0.5)
+        await platform.ingest(sensor_id, {other: [(0.0, 99.0)]})  # no alert
+        await platform.ingest(sensor_id, {target: [(1.0, 99.0)]})  # alert
+        await sched.sleep(0.5)
+        return pushed, await platform.alerts("org-0")
+
+    pushed, alerts = sched.run_until_complete(main())
+    assert pushed == 1
+    assert len(alerts) == 1
+    assert alerts[0]["channel_id"].endswith("/c-0")
+
+
+def test_alert_rule_scoped_to_sensor_type(sched, platform, org):
+    async def main():
+        pushed = await org.add_alert_rule(
+            "typed", high=1.0, sensor_type="wind_speed"
+        )
+        return pushed
+
+    # Provisioned sensors are extension type: a wind rule pushes nowhere.
+    assert sched.run_until_complete(main()) == 0
+
+
+def test_unsubscribed_user_gets_no_inbox_alerts(sched, platform, org):
+    async def main():
+        await org.add_user("quiet", "Q", role="engineer", subscribed_alerts=False)
+        await org.add_alert_rule("r", high=1.0)
+        await sched.sleep(0.5)
+        sensor_id = sensor_id_for("org-0", 0)
+        await platform.ingest(
+            sensor_id, {channel_id_for(sensor_id, 0): [(0.0, 50.0)]}
+        )
+        await sched.sleep(0.5)
+        return (
+            await org.inbox("quiet"),
+            await org.inbox("admin"),
+        )
+
+    quiet_inbox, admin_inbox = sched.run_until_complete(main())
+    assert quiet_inbox == []
+    assert len(admin_inbox) == 1
+
+
+def test_alert_storage_is_bounded(sched, platform, org):
+    from repro.shm.organization import MAX_STORED_ALERTS
+
+    async def main():
+        for i in range(MAX_STORED_ALERTS + 50):
+            await org.ask(
+                "record_alert",
+                {"rule_id": "r", "channel_id": "c", "value": 1.0, "timestamp": float(i)},
+            )
+        alerts = await org.alerts(limit=MAX_STORED_ALERTS + 100)
+        return alerts
+
+    alerts = sched.run_until_complete(main())
+    assert len(alerts) == MAX_STORED_ALERTS
+    # Oldest alerts were dropped: the first retained is number 50.
+    assert alerts[0]["timestamp"] == 50.0
+
+
+def test_organization_state_durable_across_deactivation(sched, platform, org):
+    async def main():
+        await org.add_user("u", "U", role="engineer")
+        await platform.runtime.deactivate("Organization", "org-0")
+        summary = await org.describe()
+        return summary
+
+    summary = sched.run_until_complete(main())
+    assert summary["users"] == 2  # admin + u
+    assert summary["sensors"] == 2

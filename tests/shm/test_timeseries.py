@@ -1,0 +1,195 @@
+"""Unit tests for windows, accumulated change and aggregates."""
+
+import math
+
+import pytest
+
+from repro.shm import AccumulatedChange, AggregateStats, BucketedAggregates, DataPoint, DataWindow
+
+
+# -- DataWindow ---------------------------------------------------------------
+
+
+def test_window_appends_in_order():
+    window = DataWindow(capacity=10)
+    window.append(DataPoint(1.0, 5.0))
+    window.append(DataPoint(2.0, 6.0))
+    assert len(window) == 2
+    assert window.latest().value == 6.0
+
+
+def test_window_rejects_out_of_order():
+    window = DataWindow()
+    window.append(DataPoint(2.0, 1.0))
+    with pytest.raises(ValueError):
+        window.append(DataPoint(1.0, 1.0))
+
+
+def test_window_allows_equal_timestamps():
+    window = DataWindow()
+    window.append(DataPoint(1.0, 1.0))
+    window.append(DataPoint(1.0, 2.0))
+    assert len(window) == 2
+
+
+def test_window_evicts_oldest_when_full():
+    window = DataWindow(capacity=3)
+    evicted = window.extend([DataPoint(float(i), i) for i in range(5)])
+    assert [p.timestamp for p in evicted] == [0.0, 1.0]
+    assert len(window) == 3
+    assert window.all_points()[0].timestamp == 2.0
+    assert window.total_appended == 5
+
+
+def test_window_range_query_half_open():
+    window = DataWindow()
+    window.extend([DataPoint(float(i), i * 10) for i in range(10)])
+    points = window.range(2.0, 5.0)
+    assert [p.timestamp for p in points] == [2.0, 3.0, 4.0]
+
+
+def test_window_tail():
+    window = DataWindow()
+    window.extend([DataPoint(float(i), i) for i in range(5)])
+    assert [p.value for p in window.tail(2)] == [3, 4]
+    assert window.tail(0) == []
+    assert len(window.tail(100)) == 5
+
+
+def test_window_latest_empty():
+    assert DataWindow().latest() is None
+
+
+def test_window_capacity_validation():
+    with pytest.raises(ValueError):
+        DataWindow(capacity=0)
+
+
+# -- AccumulatedChange ---------------------------------------------------------
+
+
+def test_accumulated_change_net_and_total():
+    change = AccumulatedChange()
+    for value in [0.0, 3.0, 1.0, 4.0]:
+        change.observe(value)
+    assert change.net == pytest.approx(4.0)
+    assert change.total == pytest.approx(3 + 2 + 3)
+    assert change.count == 4
+
+
+def test_accumulated_change_oscillation():
+    change = AccumulatedChange()
+    for value in [0.0, 1.0, 0.0, 1.0, 0.0]:
+        change.observe(value)
+    assert change.net == pytest.approx(0.0)
+    assert change.total == pytest.approx(4.0)
+
+
+def test_accumulated_change_empty():
+    change = AccumulatedChange()
+    assert change.net == 0.0
+    assert change.total == 0.0
+    snapshot = change.snapshot()
+    assert snapshot["count"] == 0
+    assert snapshot["first"] is None
+
+
+# -- AggregateStats -------------------------------------------------------------
+
+
+def test_aggregate_stats_basic_moments():
+    stats = AggregateStats()
+    values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+    for value in values:
+        stats.observe(value)
+    assert stats.count == 8
+    assert stats.mean == pytest.approx(5.0)
+    assert stats.stddev == pytest.approx(2.0)
+    assert stats.minimum == 2.0
+    assert stats.maximum == 9.0
+
+
+def test_aggregate_stats_variance_small_counts():
+    stats = AggregateStats()
+    assert stats.variance == 0.0
+    stats.observe(10.0)
+    assert stats.variance == 0.0
+
+
+def test_aggregate_merge_equals_combined_stream():
+    left, right, combined = AggregateStats(), AggregateStats(), AggregateStats()
+    left_values = [1.0, 2.0, 3.0]
+    right_values = [10.0, 20.0]
+    for value in left_values:
+        left.observe(value)
+        combined.observe(value)
+    for value in right_values:
+        right.observe(value)
+        combined.observe(value)
+    left.merge(right)
+    assert left.count == combined.count
+    assert left.mean == pytest.approx(combined.mean)
+    assert left.variance == pytest.approx(combined.variance)
+    assert left.minimum == combined.minimum
+    assert left.maximum == combined.maximum
+
+
+def test_aggregate_merge_with_empty():
+    stats = AggregateStats()
+    stats.observe(5.0)
+    stats.merge(AggregateStats())
+    assert stats.count == 1
+    empty = AggregateStats()
+    empty.merge(stats)
+    assert empty.count == 1
+    assert empty.mean == 5.0
+
+
+def test_aggregate_snapshot_empty():
+    snapshot = AggregateStats().snapshot()
+    assert snapshot == {"count": 0, "min": None, "max": None, "mean": None, "stddev": None}
+
+
+# -- BucketedAggregates ------------------------------------------------------------
+
+
+def test_buckets_partition_by_time():
+    buckets = BucketedAggregates(bucket_seconds=3600)
+    buckets.observe(DataPoint(10.0, 1.0))
+    buckets.observe(DataPoint(3599.0, 3.0))
+    buckets.observe(DataPoint(3600.0, 5.0))
+    assert buckets.buckets() == [0, 1]
+    assert buckets.stats_for(0).count == 2
+    assert buckets.stats_for(1).count == 1
+
+
+def test_bucket_series_range():
+    buckets = BucketedAggregates(bucket_seconds=60)
+    for ts in [0, 30, 60, 120, 300]:
+        buckets.observe(DataPoint(float(ts), 1.0))
+    series = buckets.series(0, 180)
+    assert [bucket for bucket, _ in series] == [0, 1, 2]
+
+
+def test_bucket_series_empty_range():
+    buckets = BucketedAggregates(bucket_seconds=60)
+    buckets.observe(DataPoint(0.0, 1.0))
+    assert buckets.series(100, 100) == []
+
+
+def test_bucket_merge_rollup():
+    hour = BucketedAggregates(bucket_seconds=3600)
+    day = BucketedAggregates(bucket_seconds=86400)
+    for ts in range(0, 7200, 600):
+        hour.observe(DataPoint(float(ts), float(ts)))
+    for bucket in hour.buckets():
+        day.merge_bucket(
+            day.bucket_of(bucket * 3600), hour.stats_for(bucket)
+        )
+    assert day.buckets() == [0]
+    assert day.stats_for(0).count == 12
+
+
+def test_bucket_validation():
+    with pytest.raises(ValueError):
+        BucketedAggregates(bucket_seconds=0)

@@ -1,0 +1,80 @@
+"""Unit tests for the append-only archive log."""
+
+import pytest
+
+from repro.storage import ArchiveLog
+
+
+@pytest.fixture
+def log():
+    return ArchiveLog()
+
+
+def test_append_and_read_range(log):
+    for ts in [1.0, 2.0, 3.0, 4.0]:
+        log.append("chan-1", ts, {"v": ts})
+    records = log.read_range("chan-1", 2.0, 4.0)
+    assert [r.timestamp for r in records] == [2.0, 3.0]
+
+
+def test_range_is_half_open(log):
+    log.append("s", 1.0, "a")
+    log.append("s", 2.0, "b")
+    records = log.read_range("s", 1.0, 2.0)
+    assert [r.payload for r in records] == ["a"]
+
+
+def test_out_of_order_append_rejected(log):
+    log.append("s", 5.0, "a")
+    with pytest.raises(ValueError):
+        log.append("s", 4.0, "b")
+
+
+def test_equal_timestamps_allowed(log):
+    log.append("s", 1.0, "a")
+    log.append("s", 1.0, "b")
+    assert [r.payload for r in log.read_range("s", 1.0, 1.5)] == ["a", "b"]
+
+
+def test_streams_are_independent(log):
+    log.append("a", 10.0, 1)
+    log.append("b", 1.0, 2)  # older than stream a's head: fine
+    assert log.streams() == ["a", "b"]
+    assert len(log) == 2
+
+
+def test_sequence_numbers_are_global_and_increasing(log):
+    first = log.append("a", 1.0, None)
+    second = log.append("b", 1.0, None)
+    assert second.sequence == first.sequence + 1
+
+
+def test_tail(log):
+    for ts in range(5):
+        log.append("s", float(ts), ts)
+    assert [r.payload for r in log.tail("s", 2)] == [3, 4]
+    assert log.tail("s", 0) == []
+    assert [r.payload for r in log.tail("s", 99)] == [0, 1, 2, 3, 4]
+    with pytest.raises(ValueError):
+        log.tail("s", -1)
+
+
+def test_extend_appends_many(log):
+    records = log.extend("s", [(1.0, "a"), (2.0, "b")])
+    assert len(records) == 2
+    assert len(log) == 2
+
+
+def test_export_with_transform(log):
+    log.append("s", 1.0, {"value": 10})
+    log.append("s", 2.0, {"value": 20})
+    rows = log.export("s", transform=lambda r: (r.timestamp, r.payload["value"]))
+    assert rows == [(1.0, 10), (2.0, 20)]
+
+
+def test_export_missing_stream_is_empty(log):
+    assert log.export("nothing") == []
+
+
+def test_read_range_missing_stream_is_empty(log):
+    assert log.read_range("nothing", 0, 100) == []

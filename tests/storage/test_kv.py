@@ -1,0 +1,129 @@
+"""Unit tests for the in-memory key-value store."""
+
+import pytest
+
+from repro.errors import ConditionalCheckFailedError, KeyNotFoundError
+from repro.kernel import run
+from repro.storage import InMemoryKVStore
+
+
+def test_put_then_get_round_trips():
+    store = InMemoryKVStore()
+
+    async def main():
+        etag = await store.put("k", {"a": 1})
+        item = await store.get("k")
+        return etag, item
+
+    etag, item = run(main())
+    assert etag == 1
+    assert item.value == {"a": 1}
+    assert item.etag == 1
+
+
+def test_get_missing_key_raises():
+    store = InMemoryKVStore()
+
+    async def main():
+        await store.get("missing")
+
+    with pytest.raises(KeyNotFoundError):
+        run(main())
+
+
+def test_try_get_missing_returns_none():
+    store = InMemoryKVStore()
+
+    async def main():
+        return await store.try_get("missing")
+
+    assert run(main()) is None
+
+
+def test_etag_increments_per_write():
+    store = InMemoryKVStore()
+
+    async def main():
+        first = await store.put("k", 1)
+        second = await store.put("k", 2)
+        return first, second
+
+    assert run(main()) == (1, 2)
+
+
+def test_conditional_put_requires_matching_etag():
+    store = InMemoryKVStore()
+
+    async def main():
+        await store.put("k", "v1")
+        await store.put("k", "v2", expected_etag=1)
+        with pytest.raises(ConditionalCheckFailedError):
+            await store.put("k", "v3", expected_etag=1)
+        return (await store.get("k")).value
+
+    assert run(main()) == "v2"
+
+
+def test_conditional_create_with_etag_zero():
+    store = InMemoryKVStore()
+
+    async def main():
+        await store.put("fresh", 1, expected_etag=0)
+        with pytest.raises(ConditionalCheckFailedError):
+            await store.put("fresh", 2, expected_etag=0)
+
+    run(main())
+
+
+def test_values_are_isolated_copies():
+    store = InMemoryKVStore()
+    document = {"nested": [1, 2]}
+
+    async def main():
+        await store.put("k", document)
+        document["nested"].append(3)  # caller mutates after store
+        first = await store.get("k")
+        first.value["nested"].append(99)  # reader mutates their copy
+        second = await store.get("k")
+        return first.value, second.value
+
+    first, second = run(main())
+    assert first == {"nested": [1, 2, 99]}
+    assert second == {"nested": [1, 2]}
+
+
+def test_delete_reports_existence():
+    store = InMemoryKVStore()
+
+    async def main():
+        await store.put("k", 1)
+        return await store.delete("k"), await store.delete("k")
+
+    assert run(main()) == (True, False)
+
+
+def test_scan_by_prefix_sorted():
+    store = InMemoryKVStore()
+
+    async def main():
+        await store.put("cow/2", "b")
+        await store.put("cow/1", "a")
+        await store.put("farm/1", "x")
+        rows = await store.scan("cow/")
+        return [(key, item.value) for key, item in rows]
+
+    assert run(main()) == [("cow/1", "a"), ("cow/2", "b")]
+
+
+def test_counters_track_operations():
+    store = InMemoryKVStore()
+
+    async def main():
+        await store.put("k", 1)
+        await store.try_get("k")
+        await store.delete("k")
+
+    run(main())
+    assert store.writes == 1
+    assert store.reads == 1
+    assert store.deletes == 1

@@ -1,0 +1,56 @@
+"""Unit tests for serialization helpers."""
+
+import pytest
+
+from repro.storage import NotSerializableError, ensure_serializable, estimate_size, snapshot
+
+
+def test_snapshot_isolates_mutable_values():
+    original = {"list": [1, 2]}
+    copy_ = snapshot(original)
+    copy_["list"].append(3)
+    assert original == {"list": [1, 2]}
+
+
+def test_snapshot_passes_scalars_through():
+    for value in (None, True, 42, 3.14, "text", b"bytes"):
+        assert snapshot(value) is value
+
+
+def test_snapshot_passes_scalar_tuples_through():
+    value = (1, "a", None)
+    assert snapshot(value) is value
+
+
+def test_snapshot_copies_tuples_with_mutable_members():
+    value = ([1], "a")
+    copied = snapshot(value)
+    assert copied is not value
+    copied[0].append(2)
+    assert value == ([1], "a")
+
+
+def test_ensure_serializable_accepts_plain_data():
+    ensure_serializable({"k": [1, (2, 3)]})
+
+
+def test_ensure_serializable_rejects_lambdas():
+    with pytest.raises(NotSerializableError):
+        ensure_serializable(lambda: None)
+
+
+def test_ensure_serializable_rejects_open_files(tmp_path):
+    with open(tmp_path / "f.txt", "w") as handle:
+        with pytest.raises(NotSerializableError):
+            ensure_serializable({"file": handle})
+
+
+def test_estimate_size_grows_with_payload():
+    small = estimate_size("x")
+    large = estimate_size("x" * 10_000)
+    assert large > small + 9_000
+
+
+def test_estimate_size_rejects_unpicklable():
+    with pytest.raises(NotSerializableError):
+        estimate_size(lambda: None)

@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are executed in-process (import-and-run via their ``main``
+coroutines would couple the tests to internals; running the files keeps
+them honest as standalone scripts) with a fresh interpreter each.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "quickstart complete",
+    "shm_bridge_monitoring.py": "done (virtual time elapsed",
+    "cattle_supply_chain.py": "supply chain example complete",
+    "scale_out_cluster.py": "cluster example complete",
+    "ingest_and_warehouse.py": "ingest & warehouse example complete",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_MARKERS[script] in result.stdout
+
+
+def test_every_example_has_a_smoke_test():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED_MARKERS)

@@ -1,0 +1,46 @@
+"""The advertised top-level API surface works as documented."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_readme_quickstart_runs():
+    from repro import Actor, AodbDatabase, AodbRuntime, Scheduler
+
+    class Greeter(Actor):
+        async def greet(self, name):
+            return f"hello {name}"
+
+    scheduler = Scheduler()
+    runtime = AodbRuntime(scheduler)
+    runtime.add_silo("silo-1", cores=2)
+    db = AodbDatabase(runtime)
+    db.register_actor(Greeter)
+
+    async def main():
+        return await db.ref("Greeter", "g").greet("world")
+
+    assert scheduler.run_until_complete(main()) == "hello world"
+
+
+def test_subpackages_import():
+    import repro.aodb
+    import repro.bench
+    import repro.cattle
+    import repro.ingest
+    import repro.kernel
+    import repro.net
+    import repro.runtime
+    import repro.shm
+    import repro.storage
+    import repro.warehouse
+
+    assert repro.bench.M5_LARGE.cores == 2
