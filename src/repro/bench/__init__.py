@@ -6,6 +6,13 @@ from .calibration import (
     saturation_request_rate,
     shm_method_costs,
 )
+from .chaos import (
+    ChaosConfig,
+    ChaosResult,
+    format_chaos_report,
+    run_chaos_experiment,
+    run_chaos_recovery,
+)
 from .experiments import (
     AblationResult,
     FigPoint,
@@ -35,6 +42,8 @@ from .workload import (
 
 __all__ = [
     "AblationResult",
+    "ChaosConfig",
+    "ChaosResult",
     "Deployment",
     "FigPoint",
     "FigResult",
@@ -53,11 +62,14 @@ __all__ = [
     "build_deployment",
     "calibrated_config",
     "execute",
+    "format_chaos_report",
     "format_result",
     "instance",
     "percentile",
     "provision",
     "run_cattle_scaling",
+    "run_chaos_experiment",
+    "run_chaos_recovery",
     "run_constraints_ablation",
     "run_durability_ablation",
     "run_fig6",

@@ -14,9 +14,11 @@ import sys
 import time
 
 from . import experiments
+from .chaos import run_chaos_experiment
 from .report import format_result
 
 QUICK = {
+    "chaos": dict(sensors=100, duration=12.0, crash_at=4.0, lease_seconds=1.5),
     "fig6": dict(sensor_counts=(600, 1200, 1800, 2400), duration=6.0),
     "fig7": dict(scale_factors=(1, 2, 3), duration=4.0),
     "fig8": dict(sensor_counts=(500, 2000), duration=6.0),
@@ -29,6 +31,7 @@ QUICK = {
 }
 
 RUNNERS = {
+    "chaos": run_chaos_experiment,
     "fig6": experiments.run_fig6,
     "fig7": experiments.run_fig7,
     "fig8": experiments.run_fig8,

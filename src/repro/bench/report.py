@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from .chaos import ChaosResult, format_chaos_report
 from .experiments import AblationResult, FigResult
 
 
@@ -84,6 +85,10 @@ def format_ablation(result: AblationResult) -> str:
 
 def format_result(result: FigResult | AblationResult) -> str:
     """Dispatch to the right formatter."""
+    if isinstance(result, ChaosResult):
+        return format_chaos_report(result)
+    if isinstance(result, tuple) and result and isinstance(result[0], ChaosResult):
+        return format_chaos_report(*result)
     if isinstance(result, AblationResult):
         return format_ablation(result)
     if result.figure in ("fig6", "fig7"):

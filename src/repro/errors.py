@@ -58,6 +58,23 @@ class ThrottlingError(StorageError):
     """A provisioned-capacity store rejected a request (capacity exceeded)."""
 
 
+class ThrottledError(ThrottlingError):
+    """A throttled request, carrying the store's suggested retry delay.
+
+    ``retry_after`` is in (virtual) seconds; retry policies use it as a lower
+    bound for their backoff so clients do not hammer a store that already
+    told them when capacity will be available.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class InjectedFaultError(StorageError):
+    """A chaos-harness fault injector failed this request on purpose."""
+
+
 class ConditionalCheckFailedError(StorageError):
     """An optimistic-concurrency (ETag) check failed on write."""
 
@@ -93,6 +110,15 @@ class MailboxOverflowError(RuntimeFault):
 
 class ReentrancyError(RuntimeFault):
     """A non-reentrant actor was re-entered by its own call chain."""
+
+
+class DeadlineExceededError(RuntimeFault):
+    """An ask-style call did not produce a reply before its deadline.
+
+    Raised in virtual time by the runtime's call-deadline machinery: queued
+    and in-flight requests fail at the deadline instead of waiting forever
+    on a dead or overloaded silo.
+    """
 
 
 # ---------------------------------------------------------------------------

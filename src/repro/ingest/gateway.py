@@ -11,16 +11,22 @@ behavior in sensor measurements."  This module is that tier:
 - a pool of dispatcher tasks drains the queue into sensor actors, limiting
   the concurrency the actor tier sees (back-pressure instead of overload);
 - overflow policy is explicit: ``reject`` (surface an error to the device,
-  like an HTTP 429) or ``drop_oldest`` (favour fresh telemetry).
+  like an HTTP 429) or ``drop_oldest`` (favour fresh telemetry);
+- an optional :class:`~repro.runtime.resilience.CircuitBreaker` turns
+  backend throttling into bounded behaviour: dispatchers trip the breaker
+  on :class:`~repro.errors.ThrottlingError`, re-enqueue the envelope, and
+  back off, while :meth:`IngestGateway.submit` sheds new uploads once the
+  breaker is open and the queue is past a watermark.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import PlatformError
+from ..errors import PlatformError, ThrottlingError
 from ..kernel.scheduler import Scheduler, Task
 from ..kernel.sync import Queue
+from ..runtime.resilience import CircuitBreaker
 from ..shm.platform import ShmPlatform
 from .adapters import AdapterRegistry, NormalizedBatch
 
@@ -38,6 +44,9 @@ class GatewayStats:
     dropped: int = 0
     dispatched: int = 0
     parse_errors: int = 0
+    shed: int = 0
+    throttled: int = 0
+    redispatched: int = 0
     max_queue_depth: int = 0
     formats_seen: dict[str, int] = field(default_factory=dict)
 
@@ -59,12 +68,18 @@ class IngestGateway:
         queue_capacity: int = 1024,
         dispatchers: int = 8,
         overflow: str = "reject",
+        breaker: CircuitBreaker | None = None,
+        shed_watermark: float = 0.5,
     ) -> None:
         if overflow not in ("reject", "drop_oldest"):
             raise ValueError("overflow must be 'reject' or 'drop_oldest'")
+        if not 0.0 <= shed_watermark <= 1.0:
+            raise ValueError("shed_watermark must be in [0, 1]")
         self.platform = platform
         self.registry = registry
         self.overflow = overflow
+        self.breaker = breaker
+        self.shed_watermark = shed_watermark
         self.stats = GatewayStats()
         self._scheduler: Scheduler = platform.runtime.scheduler
         self._queue: Queue[_Envelope] = Queue(self._scheduler)
@@ -108,8 +123,21 @@ class IngestGateway:
         Parses synchronously (fail fast back to the device), then enqueues.
         Returns True if accepted; raises :class:`GatewayOverloadedError`
         under ``reject`` overflow, returns True after evicting the oldest
-        envelope under ``drop_oldest``.
+        envelope under ``drop_oldest``.  With a circuit breaker configured,
+        uploads are shed (429) once the breaker is open and the queue is
+        past ``shed_watermark`` of capacity — bounded queueing instead of
+        piling work onto a throttled backend.
         """
+        if (
+            self.breaker is not None
+            and not self.breaker.allow()
+            and len(self._queue) >= self.shed_watermark * self._capacity
+        ):
+            self.stats.shed += 1
+            raise GatewayOverloadedError(
+                "backend throttled (circuit open) and queue past watermark; "
+                "shedding load"
+            )
         try:
             batch = self.registry.parse(format_name, payload)
         except PlatformError:
@@ -137,9 +165,36 @@ class IngestGateway:
     async def _dispatch_loop(self) -> None:
         while True:
             envelope = await self._queue.get()
+            if self.breaker is not None and not self.breaker.allow():
+                # Breaker open: hold the envelope instead of hammering a
+                # backend that just throttled us; wake when it half-opens.
+                self._requeue(envelope)
+                await self._scheduler.sleep(
+                    max(0.01, self.breaker.seconds_until_probe())
+                )
+                continue
             try:
                 await self.platform.ingest(envelope.sensor_id, envelope.batch)
-                self.stats.dispatched += 1
+            except ThrottlingError as exc:
+                self.stats.throttled += 1
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                self._requeue(envelope)
+                await self._scheduler.sleep(
+                    getattr(exc, "retry_after", 0.0) or 0.05
+                )
             except PlatformError:
                 # A bad sensor id or channel set: count and keep serving.
                 self.stats.parse_errors += 1
+            else:
+                self.stats.dispatched += 1
+                if self.breaker is not None:
+                    self.breaker.record_success()
+
+    def _requeue(self, envelope: _Envelope) -> None:
+        """Put a throttled envelope back at the tail, dropping if full."""
+        if len(self._queue) >= self._capacity:
+            self.stats.dropped += 1
+            return
+        self._queue.put_nowait(envelope)
+        self.stats.redispatched += 1

@@ -30,7 +30,15 @@ class Task:
     yields the coroutine's return value (or re-raises its exception).
     """
 
-    __slots__ = ("_coro", "_scheduler", "future", "name", "_waiting_on", "_started")
+    __slots__ = (
+        "_coro",
+        "_scheduler",
+        "future",
+        "name",
+        "_waiting_on",
+        "_started",
+        "_cancel_requested",
+    )
 
     def __init__(
         self,
@@ -44,6 +52,7 @@ class Task:
         self.name = self.future.name
         self._waiting_on: Future[Any] | None = None
         self._started = False
+        self._cancel_requested = False
 
     def done(self) -> bool:
         """Return True when the task's coroutine has finished."""
@@ -57,6 +66,14 @@ class Task:
         """Request cancellation; returns False if the task already finished."""
         if self.done():
             return False
+        if not self._started:
+            self.future.cancel()
+            self._coro.close()
+            return True
+        # The awaited future may already be done with the resume step still
+        # queued; the flag makes that queued step deliver the cancellation
+        # instead of resuming the coroutine.
+        self._cancel_requested = True
         waiting = self._waiting_on
         self._waiting_on = None
         if waiting is not None and not waiting.done():
@@ -64,9 +81,6 @@ class Task:
             self._scheduler._call_soon(
                 lambda: self._step(exc=CancelledError(self.name))
             )
-        elif not self._started:
-            self.future.cancel()
-            self._coro.close()
         return True
 
     # -- driving the coroutine ------------------------------------------------
@@ -74,6 +88,8 @@ class Task:
     def _step(self, value: Any = None, exc: BaseException | None = None) -> None:
         if self.future.done():
             return
+        if self._cancel_requested and exc is None:
+            exc = CancelledError(self.name)
         self._started = True
         self._waiting_on = None
         try:

@@ -1,5 +1,6 @@
 """Simulated network substrate: endpoints, transfers and latency models."""
 
+from .faults import NetworkFaultInjector
 from .latency import (
     ZERO_LATENCY,
     ConstantLatency,
@@ -14,6 +15,7 @@ __all__ = [
     "LatencyModel",
     "LogNormalLatency",
     "Network",
+    "NetworkFaultInjector",
     "NetworkStats",
     "UniformLatency",
     "ZERO_LATENCY",

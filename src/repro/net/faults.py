@@ -1,0 +1,85 @@
+"""Network fault injection for the chaos harness.
+
+A :class:`NetworkFaultInjector` attached to a :class:`~repro.net.network.
+Network` perturbs message transfers inside a scripted time window:
+
+- **loss** — the transfer never completes (the message vanishes in flight,
+  exactly like a dropped packet: the sender sees silence, not an error, so
+  only a call deadline can surface it);
+- **duplication** — the invocation is delivered twice (the runtime re-enqueues
+  it; ask replies are naturally deduplicated by the one-shot reply future,
+  one-way handlers see the duplicate — which is what makes the injector a
+  good idempotency test);
+- **extra delay** — an additional latency charge per transfer, modeling
+  congestion.
+
+All randomness comes from a caller-provided seeded stream, so chaos runs are
+bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+__all__ = ["NetworkFaultInjector"]
+
+
+class NetworkFaultInjector:
+    """Probabilistic, time-windowed message faults over one network."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        loss_rate: float = 0.0,
+        duplication_rate: float = 0.0,
+        extra_delay: float = 0.0,
+        start: float = 0.0,
+        end: float = math.inf,
+        protected: frozenset[str] | set[str] = frozenset(),
+    ) -> None:
+        for name, rate in (("loss_rate", loss_rate), ("duplication_rate", duplication_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if extra_delay < 0:
+            raise ValueError("extra_delay must be >= 0")
+        self._rng = rng
+        self.loss_rate = loss_rate
+        self.duplication_rate = duplication_rate
+        self.extra_delay = extra_delay
+        self.start = start
+        self.end = end
+        # Endpoints whose traffic is never faulted (e.g. the system-store
+        # path, or a control plane the experiment wants reliable).
+        self.protected = frozenset(protected)
+        self.injected_losses = 0
+        self.injected_duplicates = 0
+
+    def _applies(self, source: str, target: str, now: float) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        return source not in self.protected and target not in self.protected
+
+    def drops(self, source: str, target: str, now: float) -> bool:
+        """Whether this transfer is lost in flight."""
+        if not self._applies(source, target, now) or self.loss_rate <= 0:
+            return False
+        if self._rng.random() < self.loss_rate:
+            self.injected_losses += 1
+            return True
+        return False
+
+    def duplicates(self, source: str, target: str, now: float) -> bool:
+        """Whether this delivery arrives twice."""
+        if not self._applies(source, target, now) or self.duplication_rate <= 0:
+            return False
+        if self._rng.random() < self.duplication_rate:
+            self.injected_duplicates += 1
+            return True
+        return False
+
+    def extra_delay_for(self, source: str, target: str, now: float) -> float:
+        """Additional latency charged to this transfer."""
+        if not self._applies(source, target, now):
+            return 0.0
+        return self.extra_delay

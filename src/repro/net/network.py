@@ -17,8 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..kernel.futures import Future
 from ..kernel.rng import RngRegistry
 from ..kernel.scheduler import Scheduler
+from .faults import NetworkFaultInjector
 from .latency import ConstantLatency, LatencyModel, ZERO_LATENCY
 
 
@@ -29,6 +31,8 @@ class NetworkStats:
     messages: int = 0
     loopback_messages: int = 0
     remote_messages: int = 0
+    lost_messages: int = 0
+    duplicated_messages: int = 0
     total_latency: float = 0.0
     per_endpoint_sent: dict[str, int] = field(default_factory=dict)
 
@@ -58,7 +62,12 @@ class Network:
         self.lan_model = lan or ConstantLatency(0.0005)
         self._endpoints: set[str] = set()
         self._overrides: dict[tuple[str, str], LatencyModel] = {}
+        self.faults: NetworkFaultInjector | None = None
         self.stats = NetworkStats()
+
+    def inject_faults(self, injector: NetworkFaultInjector | None) -> None:
+        """Attach (or, with None, detach) a chaos fault injector."""
+        self.faults = injector
 
     def register(self, endpoint: str) -> None:
         """Add an endpoint; transfers to unknown endpoints are rejected."""
@@ -85,18 +94,45 @@ class Network:
             return self.loopback_model.sample(self._rng)
         return self.lan_model.sample(self._rng)
 
+    def should_duplicate(self, source: str, target: str) -> bool:
+        """Chaos hook: whether the delivery just transferred arrives twice.
+
+        Consulted by the runtime after a successful transfer; duplication is
+        a *delivery* phenomenon, so re-enqueueing is the receiver side's job.
+        """
+        if self.faults is None:
+            return False
+        if not self.faults.duplicates(source, target, self._scheduler.now):
+            return False
+        self.stats.duplicated_messages += 1
+        return True
+
     async def transfer(self, source: str, target: str) -> None:
         """Delay the caller by one message latency and record stats.
 
         Raises :class:`KeyError` if either endpoint is unknown — an unknown
         target means cluster membership and the caller's routing disagree,
         which should fail loudly rather than silently deliver.
+
+        When a fault injector is attached, the transfer may be *lost*: the
+        awaiting task then parks on a future nothing resolves, exactly like
+        a message dropped on the wire.  Only a caller-side deadline turns
+        that silence into an error.
         """
         if source not in self._endpoints:
             raise KeyError(f"unknown source endpoint {source!r}")
         if target not in self._endpoints:
             raise KeyError(f"unknown target endpoint {target!r}")
+        if self.faults is not None and self.faults.drops(
+            source, target, self._scheduler.now
+        ):
+            self.stats.lost_messages += 1
+            lost: Future[None] = Future(f"lost:{source}->{target}")
+            await lost
+            return  # pragma: no cover - the future never resolves
         delay = self.latency_for(source, target)
+        if self.faults is not None:
+            delay += self.faults.extra_delay_for(source, target, self._scheduler.now)
         self.stats.record(source, source == target, delay)
         if delay > 0:
             await self._scheduler.sleep(delay)

@@ -21,6 +21,13 @@ from .placement import (
     RandomPlacement,
 )
 from .reference import ActorRef
+from .resilience import (
+    DEFAULT_RETRY_POLICY,
+    NO_RETRY,
+    CircuitBreaker,
+    ResilienceStats,
+    RetryPolicy,
+)
 from .runtime import CLIENT_ENDPOINT, AodbRuntime, RuntimeStats
 from .silo import Silo
 
@@ -32,14 +39,19 @@ __all__ = [
     "ActorRef",
     "AodbRuntime",
     "CLIENT_ENDPOINT",
+    "CircuitBreaker",
+    "DEFAULT_RETRY_POLICY",
     "DeliveryReceipt",
     "GrainDirectory",
     "HashPlacement",
     "Invocation",
+    "NO_RETRY",
     "PinnedPlacement",
     "PlacementStrategy",
     "PreferLocalPlacement",
     "RandomPlacement",
+    "ResilienceStats",
+    "RetryPolicy",
     "RuntimeConfig",
     "RuntimeStats",
     "Silo",

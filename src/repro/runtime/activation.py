@@ -188,6 +188,14 @@ class Activation:
     async def _handle(self, invocation: Invocation) -> None:
         self.last_used = self.runtime.scheduler.now
         invocation.started_at = self.last_used
+        if (
+            invocation.deadline is not None
+            and self.last_used >= invocation.deadline
+        ):
+            # The caller's deadline already failed the reply (the deadline
+            # timer sorts before this dequeue at equal timestamps); running
+            # the method would only burn silo CPU on an abandoned request.
+            return
         method = getattr(self.instance, invocation.method, None)
         options = {"cost": None, "read_only": False}
         error: BaseException | None = None
@@ -274,6 +282,23 @@ class Activation:
             if message is not _CLOSE and message.reply is not None:
                 if not message.reply.done():
                     message.reply.set_exception(exc)
+
+    def abort(self, fault: BaseException) -> None:
+        """Tear the activation down *ungracefully*, as a process crash would.
+
+        Unlike :meth:`close`, nothing is drained or persisted and no
+        ``on_deactivate`` hook runs: the pump is cancelled, timers die,
+        queued requests fail with ``fault``, and the activation is marked
+        closed.  Used by ``Runtime.crash_silo`` and the failure detector;
+        the catalog/directory cleanup stays with the caller.
+        """
+        self.closing = True
+        self.broken = fault
+        self._pump_task.cancel()
+        for timer_name in list(self._timers):
+            self.cancel_timer(timer_name)
+        self._fail_pending(fault)
+        self.closed.set()
 
     async def close(self) -> None:
         """Gracefully stop: drain the mailbox, persist, run on_deactivate."""

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .resilience import RetryPolicy
+
 
 @dataclass
 class RuntimeConfig:
@@ -53,6 +55,27 @@ class RuntimeConfig:
     # Reminder pump granularity (virtual seconds between due-checks).
     reminder_tick: float = 60.0
 
+    # -- fault tolerance ----------------------------------------------------
+
+    # Default deadline (virtual seconds) applied to every ask-style call
+    # that does not pass its own; None = calls may wait forever.
+    default_call_deadline: float | None = None
+
+    # Retry policy applied transparently by ActorRef to ask-style calls
+    # when neither the call nor the reference overrides it; None = no
+    # automatic retries.
+    default_retry_policy: RetryPolicy | None = None
+
+    # Failure detector: scan the membership table every
+    # `failure_detection_interval` virtual seconds; a silo whose lease has
+    # been lapsed for `suspicion_grace` seconds is declared dead, its
+    # directory registrations purged and (if `proactive_reactivation`) its
+    # actors re-placed on surviving silos ahead of demand.
+    enable_failure_detection: bool = True
+    failure_detection_interval: float = 5.0
+    suspicion_grace: float = 5.0
+    proactive_reactivation: bool = True
+
     # Master seed for all runtime randomness (placement, jitter).
     seed: int = 0
 
@@ -69,3 +92,11 @@ class RuntimeConfig:
             raise ValueError("mailbox capacity must be >= 0")
         if self.reminder_tick <= 0:
             raise ValueError("reminder tick must be positive")
+        if self.default_call_deadline is not None and self.default_call_deadline <= 0:
+            raise ValueError("default_call_deadline must be positive")
+        if self.default_retry_policy is not None:
+            self.default_retry_policy.validate()
+        if self.failure_detection_interval <= 0:
+            raise ValueError("failure_detection_interval must be positive")
+        if self.suspicion_grace < 0:
+            raise ValueError("suspicion_grace must be >= 0")

@@ -29,6 +29,9 @@ class Invocation:
     # Qualified keys of the actors in the call chain that produced this
     # invocation (used for cycle/deadlock detection on non-reentrant actors).
     chain: tuple[str, ...] = ()
+    # Absolute virtual time after which the caller no longer wants the
+    # result; the runtime fails the reply and activations skip execution.
+    deadline: float | None = None
 
     # Filled in by the runtime for metrics:
     sent_at: float = 0.0

@@ -7,6 +7,11 @@ naturally::
     cow = runtime.ref("Cow", "dk-0042")
     location = await cow.current_location()
     cow.tell("record_reading", reading)     # one-way, fire-and-forget
+
+References participate in the fault-tolerance layer: ``ask`` accepts a
+``deadline`` (virtual seconds) and a ``retry`` policy, and
+:meth:`ActorRef.with_options` bakes defaults into the reference so method
+stubs (``await cow.current_location()``) are transparently resilient.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import TYPE_CHECKING, Any
 from ..kernel.futures import Future
 from .key import ActorKey
 from .messages import DeliveryReceipt
+from .resilience import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .runtime import AodbRuntime
@@ -40,7 +46,7 @@ class RemoteMethod:
 class ActorRef:
     """A location-transparent handle to a virtual actor."""
 
-    __slots__ = ("_runtime", "key", "caller_endpoint", "chain")
+    __slots__ = ("_runtime", "key", "caller_endpoint", "chain", "_deadline", "_retry")
 
     def __init__(
         self,
@@ -48,26 +54,89 @@ class ActorRef:
         key: ActorKey,
         caller_endpoint: str,
         chain: tuple[str, ...] = (),
+        deadline: float | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self._runtime = runtime
         self.key = key
         self.caller_endpoint = caller_endpoint
         self.chain = chain
+        self._deadline = deadline
+        self._retry = retry
 
-    def ask(self, method: str, *args: Any, **kwargs: Any) -> Future[Any]:
-        """Invoke ``method`` and return a future for its result."""
-        return self._runtime.send(
+    def with_options(
+        self,
+        deadline: float | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> "ActorRef":
+        """A copy of this reference with resilience defaults baked in.
+
+        Every ask through the returned reference (including method stubs)
+        applies ``deadline`` / ``retry`` unless the call overrides them.
+        """
+        return ActorRef(
+            self._runtime,
+            self.key,
+            self.caller_endpoint,
+            self.chain,
+            deadline=deadline if deadline is not None else self._deadline,
+            retry=retry if retry is not None else self._retry,
+        )
+
+    def ask(
+        self,
+        method: str,
+        *args: Any,
+        deadline: float | None = None,
+        retry: RetryPolicy | None = None,
+        **kwargs: Any,
+    ) -> Future[Any]:
+        """Invoke ``method`` and return a future for its result.
+
+        ``deadline`` (virtual seconds) and ``retry`` are keyword-only and
+        reserved: resolution order is call argument, then
+        :meth:`with_options` defaults, then the runtime config defaults
+        (``default_call_deadline`` / ``default_retry_policy``).  Actor
+        methods therefore cannot take parameters with these two names
+        through the remote-call path.
+        """
+        config = self._runtime.config
+        if deadline is None:
+            deadline = (
+                self._deadline
+                if self._deadline is not None
+                else config.default_call_deadline
+            )
+        if retry is None:
+            retry = self._retry if self._retry is not None else config.default_retry_policy
+        if deadline is None and retry is None:
+            return self._runtime.send(
+                self.key,
+                method,
+                args,
+                kwargs,
+                caller_endpoint=self.caller_endpoint,
+                one_way=False,
+                chain=self.chain,
+            )
+        return self._runtime.send_resilient(
             self.key,
             method,
             args,
             kwargs,
             caller_endpoint=self.caller_endpoint,
-            one_way=False,
             chain=self.chain,
+            retry=retry,
+            deadline=deadline,
         )
 
     def tell(self, method: str, *args: Any, **kwargs: Any) -> DeliveryReceipt:
-        """Invoke ``method`` one-way; returns an enqueue receipt, not a result."""
+        """Invoke ``method`` one-way; returns an enqueue receipt, not a result.
+
+        Tells are never retried or deadline-bounded: the receipt only
+        acknowledges enqueue, so there is no failure for a policy to react
+        to, and blind re-sends would duplicate non-idempotent work.
+        """
         return self._runtime.send_one_way(
             self.key,
             method,

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from ..errors import (
+    DeadlineExceededError,
     MailboxOverflowError,
     ReentrancyError,
     SiloUnavailableError,
@@ -40,6 +41,7 @@ from .key import ActorKey
 from .messages import DeliveryReceipt, Invocation
 from .placement import PinnedPlacement, build_strategies
 from .reference import ActorRef
+from .resilience import RetryPolicy
 from .silo import Silo
 
 CLIENT_ENDPOINT = "client"
@@ -59,6 +61,14 @@ class RuntimeStats:
     activations_crashed: int = 0
     activation_failures: int = 0
     reminders_delivered: int = 0
+    # Fault-tolerance counters.  ``calls_retried`` counts retry *attempts*
+    # issued by the resilient call path; ``deadlines_exceeded`` counts ask
+    # attempts failed by a (call or per-attempt) deadline.
+    calls_retried: int = 0
+    deadlines_exceeded: int = 0
+    silos_suspected: int = 0
+    silos_evicted: int = 0
+    activations_replaced: int = 0
     last_error: str = ""
     failed_keys: list[str] = field(default_factory=list)
 
@@ -93,6 +103,8 @@ class AodbRuntime:
         self._silos: dict[str, Silo] = {}
         self._collector_task: Task | None = None
         self._reminder_task: Task | None = None
+        self._failure_detector_task: Task | None = None
+        self._suspected: set[str] = set()
         self._heartbeats: dict[str, Task] = {}
         self._reminder_due: dict[tuple[str, str], float] = {}
         self._stopped = False
@@ -199,7 +211,7 @@ class AodbRuntime:
             heartbeat.cancel()
         return count
 
-    def crash_silo(self, silo_id: str) -> int:
+    def crash_silo(self, silo_id: str, *, detected: bool = True) -> int:
         """Fail one silo *without* any graceful shutdown.
 
         Unlike :meth:`shutdown_silo`, nothing is flushed and no
@@ -208,28 +220,34 @@ class AodbRuntime:
         :class:`~repro.errors.SiloUnavailableError`, and the crashed
         activations' keys re-place on surviving silos at next use.
         Returns the number of activations lost.
+
+        With ``detected=False`` the crash is *silent*: the rest of the
+        cluster keeps believing the silo is alive — its membership row stays
+        until the lease lapses and its directory registrations stay stale —
+        so calls routed to it keep failing until the failure detector (or
+        lease expiry) repairs the cluster view.  This is the realistic
+        process-crash mode the chaos harness uses; ``detected=True`` models
+        an operator-announced failure where cleanup is immediate.
         """
         silo = self.silo(silo_id)
         fault = SiloUnavailableError(f"silo {silo_id!r} crashed")
         lost = 0
         for activation in silo.activations():
-            activation.closing = True
-            activation._pump_task.cancel()
-            for timer_name in list(activation._timers):
-                activation.cancel_timer(timer_name)
-            activation._fail_pending(fault)
-            activation.closed.set()
+            activation.abort(fault)
             silo.remove_activation(activation.key)
-            if self.directory.lookup(activation.key) == silo_id:
+            if detected and self.directory.lookup(activation.key) == silo_id:
                 self.directory.unregister(activation.key)
             lost += 1
         self.stats.activations_crashed += lost
-        self.system_store.retire(silo_id)
-        self.network.unregister(silo_id)
-        del self._silos[silo_id]
         heartbeat = self._heartbeats.pop(silo_id, None)
         if heartbeat is not None:
             heartbeat.cancel()
+        if detected:
+            self.system_store.retire(silo_id)
+            self.network.unregister(silo_id)
+            del self._silos[silo_id]
+        else:
+            silo.crashed = True
         return lost
 
     @property
@@ -259,17 +277,121 @@ class AodbRuntime:
         caller_endpoint: str,
         one_way: bool = False,
         chain: tuple[str, ...] = (),
+        deadline_at: float | None = None,
     ) -> Future[Any]:
-        """Route an ask-style invocation; returns the reply future."""
+        """Route an ask-style invocation; returns the reply future.
+
+        ``deadline_at`` is an absolute virtual time: if the reply is still
+        pending then, it fails with
+        :class:`~repro.errors.DeadlineExceededError` and the activation
+        skips the invocation if it is still queued.
+        """
         self.stats.asks += 1
         invocation = self._make_invocation(
             key, method, args, kwargs, caller_endpoint, one_way=False, chain=chain
         )
+        invocation.deadline = deadline_at
         invocation.reply = Future(f"reply:{invocation.describe()}")
+        if deadline_at is not None:
+            self._arm_deadline(invocation, deadline_at)
         self.scheduler.spawn(
             self._deliver(invocation), name=f"deliver:{invocation.describe()}"
         )
         return invocation.reply
+
+    def _arm_deadline(self, invocation: Invocation, deadline_at: float) -> None:
+        reply = invocation.reply
+
+        def expire() -> None:
+            if reply is not None and not reply.done():
+                self.stats.deadlines_exceeded += 1
+                reply.set_exception(
+                    DeadlineExceededError(
+                        f"{invocation.describe()} missed its deadline "
+                        f"(t={deadline_at:.3f})"
+                    )
+                )
+
+        self.scheduler.call_at(deadline_at, expire)
+
+    def send_resilient(
+        self,
+        key: ActorKey,
+        method: str,
+        args: tuple,
+        kwargs: dict[str, Any],
+        caller_endpoint: str,
+        chain: tuple[str, ...] = (),
+        retry: RetryPolicy | None = None,
+        deadline: float | None = None,
+    ) -> Future[Any]:
+        """Ask with a call deadline and/or transparent retries.
+
+        ``deadline`` is *relative* (virtual seconds from now) and bounds the
+        whole call including every retry; ``retry`` governs which transient
+        errors are retried and how attempts back off.  The returned future
+        resolves with the first successful attempt's result, or rejects with
+        the last error once the policy is exhausted or the deadline passes.
+        """
+        deadline_at = (
+            self.scheduler.now + deadline if deadline is not None else None
+        )
+        if retry is None:
+            return self.send(
+                key, method, args, kwargs, caller_endpoint,
+                chain=chain, deadline_at=deadline_at,
+            )
+        retry.validate()
+        outer: Future[Any] = Future(f"resilient:{key}.{method}()")
+        backoff_rng = self.rng.stream("retry")
+
+        async def drive() -> None:
+            attempt = 0
+            while True:
+                attempt += 1
+                attempt_deadline = deadline_at
+                if retry.attempt_timeout is not None:
+                    cap = self.scheduler.now + retry.attempt_timeout
+                    attempt_deadline = (
+                        cap if attempt_deadline is None
+                        else min(attempt_deadline, cap)
+                    )
+                inner = self.send(
+                    key, method, args, kwargs, caller_endpoint,
+                    chain=chain, deadline_at=attempt_deadline,
+                )
+                try:
+                    result = await inner
+                except BaseException as exc:  # noqa: BLE001 - policy decides
+                    if outer.done():
+                        return
+                    expired = (
+                        deadline_at is not None
+                        and self.scheduler.now >= deadline_at
+                    )
+                    if expired or not retry.should_retry(exc, attempt):
+                        outer.set_exception(exc)
+                        return
+                    delay = retry.delay_for(attempt, backoff_rng, exc)
+                    if (
+                        deadline_at is not None
+                        and self.scheduler.now + delay >= deadline_at
+                    ):
+                        # No room for another attempt before the deadline.
+                        outer.set_exception(exc)
+                        return
+                    self.stats.calls_retried += 1
+                    if delay > 0:
+                        await self.scheduler.sleep(delay)
+                    if outer.done():
+                        return
+                    continue
+                if not outer.done():
+                    outer.set_result(result)
+                return
+
+        self.scheduler.spawn(drive(), name=f"retry:{key}.{method}()")
+        return outer
 
     def send_one_way(
         self,
@@ -322,15 +444,29 @@ class AodbRuntime:
         predecessor = None
         if silo_id is not None:
             silo = self._silos.get(silo_id)
-            activation = silo.get_activation(key) if silo is not None else None
-            if activation is not None and not activation.closing:
-                return activation
-            # Stale entry (collected, closing, or silo gone): clear it and
-            # fall through to fresh placement.
-            self.directory.unregister(key)
-            if activation is not None:
+            if silo is not None and silo.crashed:
+                if self.system_store.status_of(silo_id) == "active":
+                    # The cluster still believes the silo is alive, so the
+                    # registration is authoritative: the call goes to a dead
+                    # endpoint and fails.  Retry policies mask this window;
+                    # the failure detector (or lease lapse) ends it.
+                    raise SiloUnavailableError(
+                        f"silo {silo_id!r} is not responding"
+                    )
+                # Membership no longer vouches for the silo: the entry is
+                # stale, repair it and re-place on a surviving silo.
+                self.directory.unregister(key)
                 silo.remove_activation(key)
-                predecessor = activation
+            else:
+                activation = silo.get_activation(key) if silo is not None else None
+                if activation is not None and not activation.closing:
+                    return activation
+                # Stale entry (collected, closing, or silo gone): clear it
+                # and fall through to fresh placement.
+                self.directory.unregister(key)
+                if activation is not None:
+                    silo.remove_activation(key)
+                    predecessor = activation
         actor_class = self.actor_type(key.type_name)
         strategy_name = actor_class.placement or self.config.default_placement
         strategy = self.strategies.get(strategy_name)
@@ -344,6 +480,11 @@ class AodbRuntime:
             raise SiloUnavailableError("no active silos in the cluster")
         silo_id = strategy.choose(key, caller_endpoint, active)
         silo = self._silos[silo_id]
+        if silo.crashed:
+            # Membership hasn't noticed the crash yet, so placement can
+            # still pick the dead silo — the call fails like a connection
+            # to a dead host would.
+            raise SiloUnavailableError(f"silo {silo_id!r} is not responding")
         self.directory.register(key, silo_id)
         activation = Activation(
             self,
@@ -375,6 +516,17 @@ class AodbRuntime:
                 continue
             try:
                 activation.enqueue(invocation)
+                if self.network.should_duplicate(
+                    invocation.caller_endpoint, activation.silo.silo_id
+                ):
+                    # Chaos: the same invocation arrives twice.  A duplicate
+                    # ask is harmless (the one-shot reply future deduplicates
+                    # the answers); a duplicate one-way executes twice, which
+                    # is exactly the at-least-once hazard the harness probes.
+                    try:
+                        activation.enqueue(invocation)
+                    except Exception:  # noqa: BLE001 - duplicate best-effort
+                        pass
                 return
             except MailboxOverflowError as exc:
                 self.stats.dropped_messages += 1
@@ -460,7 +612,7 @@ class AodbRuntime:
         return True
 
     def start(self) -> None:
-        """Start background services (idle collector, reminder pump)."""
+        """Start background services (collector, reminders, failure detector)."""
         if self._collector_task is None:
             self._collector_task = self.scheduler.spawn(
                 self._collector_loop(), name="idle-collector"
@@ -468,6 +620,10 @@ class AodbRuntime:
         if self._reminder_task is None:
             self._reminder_task = self.scheduler.spawn(
                 self._reminder_loop(), name="reminder-pump"
+            )
+        if self._failure_detector_task is None and self.config.enable_failure_detection:
+            self._failure_detector_task = self.scheduler.spawn(
+                self._failure_detector_loop(), name="failure-detector"
             )
 
     async def stop(self) -> None:
@@ -481,6 +637,9 @@ class AodbRuntime:
         if self._reminder_task is not None:
             self._reminder_task.cancel()
             self._reminder_task = None
+        if self._failure_detector_task is not None:
+            self._failure_detector_task.cancel()
+            self._failure_detector_task = None
         for silo_id in list(self._silos):
             await self.shutdown_silo(silo_id)
 
@@ -502,6 +661,69 @@ class AodbRuntime:
         while True:
             await self.scheduler.sleep(self.config.reminder_tick)
             self.pump_reminders()
+
+    # -- failure detection -------------------------------------------------------
+
+    async def _failure_detector_loop(self) -> None:
+        while True:
+            await self.scheduler.sleep(self.config.failure_detection_interval)
+            self.evict_dead_silos()
+
+    def evict_dead_silos(self) -> list[str]:
+        """One failure-detector pass over the membership table.
+
+        Silos whose lease has been lapsed for longer than
+        ``config.suspicion_grace`` are declared dead: their membership row
+        is retired, their directory registrations purged, and (when
+        ``config.proactive_reactivation`` is on) their actors re-placed on
+        surviving silos ahead of demand, recovering persisted state.
+        Returns the ids of the silos evicted by this pass.
+        """
+        now = self.scheduler.now
+        evicted: list[str] = []
+        for entry in self.system_store.members():
+            status = self.system_store.status_of(entry.silo_id)
+            if status == "active":
+                self._suspected.discard(entry.silo_id)
+                continue
+            if status == "dead":
+                continue
+            if entry.silo_id not in self._suspected:
+                self._suspected.add(entry.silo_id)
+                self.stats.silos_suspected += 1
+            if now >= entry.lease_expires_at + self.config.suspicion_grace:
+                self._evict_silo(entry.silo_id)
+                evicted.append(entry.silo_id)
+        return evicted
+
+    def _evict_silo(self, silo_id: str) -> None:
+        """Declare a suspected silo dead and repair the cluster around it."""
+        fault = SiloUnavailableError(f"silo {silo_id!r} declared dead")
+        registered = self.directory.entries_on(silo_id)
+        silo = self._silos.pop(silo_id, None)
+        if silo is not None:
+            for activation in silo.activations():
+                activation.abort(fault)
+                silo.remove_activation(activation.key)
+                self.stats.activations_crashed += 1
+            heartbeat = self._heartbeats.pop(silo_id, None)
+            if heartbeat is not None:
+                heartbeat.cancel()
+            self.network.unregister(silo_id)
+        self.system_store.retire(silo_id)
+        for key in registered:
+            if self.directory.lookup(key) == silo_id:
+                self.directory.unregister(key)
+        self._suspected.discard(silo_id)
+        self.stats.silos_evicted += 1
+        if not (self.config.proactive_reactivation and self._silos):
+            return
+        for key in registered:
+            try:
+                self._resolve_activation(key, CLIENT_ENDPOINT)
+            except Exception:  # noqa: BLE001 - best-effort warmup
+                continue
+            self.stats.activations_replaced += 1
 
     def pump_reminders(self) -> int:
         """Fire every due reminder; returns the number delivered."""

@@ -34,6 +34,10 @@ class Silo:
         self.cpu = CpuResource(scheduler, cores=cores, speed=speed)
         self._activations: dict[ActorKey, "Activation"] = {}
         self.stopping = False
+        # Set when the silo fails without the cluster noticing: the process
+        # is gone but membership still lists it until its lease lapses and
+        # the failure detector evicts it.  Messages routed here fail fast.
+        self.crashed = False
 
     # -- catalog -----------------------------------------------------------------
 

@@ -1,6 +1,8 @@
 """Storage substrates: key-value stores, system store, archive log, serde."""
 
+from ..errors import ThrottledError
 from .archive import ArchiveLog, ArchiveRecord
+from .chaos import ChaosKVStore
 from .dynamo import ProvisionedKVStore
 from .kv import InMemoryKVStore, Item, KeyValueStore
 from .serde import NotSerializableError, ensure_serializable, estimate_size, snapshot
@@ -9,6 +11,7 @@ from .system_store import MembershipEntry, Reminder, SystemStore
 __all__ = [
     "ArchiveLog",
     "ArchiveRecord",
+    "ChaosKVStore",
     "InMemoryKVStore",
     "Item",
     "KeyValueStore",
@@ -17,6 +20,7 @@ __all__ = [
     "ProvisionedKVStore",
     "Reminder",
     "SystemStore",
+    "ThrottledError",
     "ensure_serializable",
     "estimate_size",
     "snapshot",

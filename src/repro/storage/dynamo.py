@@ -10,7 +10,8 @@ characteristics:
   pricing model closely enough for the durability ablation);
 - a per-request latency model;
 - two overload behaviours: ``throttle`` (raise
-  :class:`~repro.errors.ThrottlingError`, as the AWS SDK surfaces) or
+  :class:`~repro.errors.ThrottledError` carrying the suggested
+  ``retry_after``, as the AWS SDK surfaces throttling with retry hints) or
   ``delay`` (wait for capacity, modeling a client with retries/backoff).
 """
 
@@ -18,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..errors import ThrottlingError
+from ..errors import ThrottledError
 from ..kernel.resources import TokenBucket
 from ..kernel.rng import RngRegistry
 from ..kernel.scheduler import Scheduler
@@ -66,9 +67,10 @@ class ProvisionedKVStore(KeyValueStore):
                 self.throttled_reads += 1
             else:
                 self.throttled_writes += 1
-            raise ThrottlingError(
+            raise ThrottledError(
                 f"provisioned {kind} capacity exceeded "
-                f"(need {units:.2f} units, retry in {wait:.3f}s)"
+                f"(need {units:.2f} units, retry in {wait:.3f}s)",
+                retry_after=wait,
             )
 
     async def _network_round_trip(self) -> None:

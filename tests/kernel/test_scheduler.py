@@ -228,3 +228,48 @@ def test_events_processed_counter():
 
     sched.run_until_complete(main())
     assert sched.events_processed >= 3
+
+
+def test_cancel_lands_even_when_awaited_future_just_resolved():
+    # Regression: cancelling a task whose awaited future has already
+    # resolved (resume step still queued) must not be a silent no-op —
+    # the looping task would otherwise keep running forever.
+    sched = Scheduler()
+    ticks = []
+
+    async def looper():
+        while True:
+            await sched.sleep(0.5)
+            ticks.append(sched.now)
+
+    async def main():
+        task = sched.spawn(looper())
+        # t=2.0 coincides exactly with a sleep expiry, so at cancel time
+        # the sleep future is resolved but looper has not resumed yet.
+        await sched.at(2.0)
+        assert task.cancel() is True
+        await sched.sleep(2.0)
+        assert task.done()
+
+    sched.run_until_complete(main())
+    assert ticks == [0.5, 1.0, 1.5]
+
+
+def test_cancel_detaches_from_pending_future():
+    sched = Scheduler()
+    ticks = []
+
+    async def looper():
+        while True:
+            await sched.sleep(0.5)
+            ticks.append(sched.now)
+
+    async def main():
+        task = sched.spawn(looper())
+        await sched.at(1.75)  # mid-sleep: the awaited future is pending
+        task.cancel()
+        await sched.sleep(2.0)
+        assert task.done()
+
+    sched.run_until_complete(main())
+    assert ticks == [0.5, 1.0, 1.5]

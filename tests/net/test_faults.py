@@ -1,0 +1,157 @@
+"""Chaos network faults: loss, duplication, extra delay, time windows."""
+
+import random
+
+import pytest
+
+from repro.errors import TimeoutError as KernelTimeoutError
+from repro.kernel import RngRegistry, Scheduler
+from repro.net import ConstantLatency, Network, NetworkFaultInjector
+from repro.runtime import Actor, AodbRuntime, RuntimeConfig
+
+
+@pytest.fixture
+def sched():
+    return Scheduler()
+
+
+@pytest.fixture
+def net(sched):
+    network = Network(
+        sched,
+        rng=RngRegistry(1),
+        loopback=ConstantLatency(0.0),
+        lan=ConstantLatency(0.001),
+    )
+    network.register("silo-a")
+    network.register("silo-b")
+    return network
+
+
+def test_injector_validates_rates():
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        NetworkFaultInjector(rng, loss_rate=1.5)
+    with pytest.raises(ValueError):
+        NetworkFaultInjector(rng, duplication_rate=-0.1)
+    with pytest.raises(ValueError):
+        NetworkFaultInjector(rng, extra_delay=-1.0)
+
+
+def test_loss_parks_the_transfer_forever(sched, net):
+    net.inject_faults(NetworkFaultInjector(random.Random(0), loss_rate=1.0))
+
+    async def main():
+        # A lost message is silence, not an error: only a timeout sees it.
+        with pytest.raises(KernelTimeoutError):
+            await sched.timeout(
+                sched.spawn(net.transfer("silo-a", "silo-b")), 1.0
+            )
+
+    sched.run_until_complete(main())
+    assert net.stats.lost_messages == 1
+    assert net.faults.injected_losses == 1
+
+
+def test_fault_window_bounds_the_chaos(sched, net):
+    net.inject_faults(
+        NetworkFaultInjector(random.Random(0), loss_rate=1.0, start=5.0, end=10.0)
+    )
+
+    async def main():
+        await net.transfer("silo-a", "silo-b")  # before the window: clean
+        await sched.at(12.0)
+        await net.transfer("silo-a", "silo-b")  # after the window: clean
+
+    sched.run_until_complete(main())
+    assert net.stats.lost_messages == 0
+
+
+def test_protected_endpoints_are_never_faulted(sched, net):
+    net.inject_faults(
+        NetworkFaultInjector(
+            random.Random(0), loss_rate=1.0, protected={"silo-b"}
+        )
+    )
+
+    async def main():
+        await net.transfer("silo-a", "silo-b")
+
+    sched.run_until_complete(main())
+    assert net.stats.lost_messages == 0
+
+
+def test_extra_delay_slows_transfers(sched, net):
+    net.inject_faults(
+        NetworkFaultInjector(random.Random(0), extra_delay=0.25)
+    )
+
+    async def main():
+        await net.transfer("silo-a", "silo-b")
+        return sched.now
+
+    assert sched.run_until_complete(main()) == pytest.approx(0.251)
+
+
+def test_duplicated_one_way_executes_twice():
+    # End to end: a duplicated tell runs the handler twice — the
+    # at-least-once hazard the chaos harness is designed to surface.
+    sched = Scheduler()
+    runtime = AodbRuntime(
+        sched,
+        config=RuntimeConfig(default_method_cost=0.0, activation_cost=0.0),
+        network=Network(sched, lan=ConstantLatency(0.001)),
+    )
+    runtime.add_silo("silo-0", cores=2)
+    runtime.network.inject_faults(
+        NetworkFaultInjector(random.Random(0), duplication_rate=1.0)
+    )
+
+    class Counter(Actor):
+        hits = 0
+
+        async def bump(self):
+            type(self).hits += 1
+
+    runtime.register_actor(Counter)
+    Counter.hits = 0
+
+    async def main():
+        runtime.ref("Counter", "c").tell("bump")
+        await sched.sleep(1.0)
+
+    sched.run_until_complete(main())
+    assert Counter.hits == 2
+    assert runtime.network.stats.duplicated_messages >= 1
+
+
+def test_duplicated_ask_reply_is_deduplicated():
+    sched = Scheduler()
+    runtime = AodbRuntime(
+        sched,
+        config=RuntimeConfig(default_method_cost=0.0, activation_cost=0.0),
+        network=Network(sched, lan=ConstantLatency(0.001)),
+    )
+    runtime.add_silo("silo-0", cores=2)
+    runtime.network.inject_faults(
+        NetworkFaultInjector(random.Random(0), duplication_rate=1.0)
+    )
+
+    class Echo(Actor):
+        calls = 0
+
+        async def ping(self):
+            type(self).calls += 1
+            return "pong"
+
+    runtime.register_actor(Echo)
+    Echo.calls = 0
+
+    async def main():
+        result = await runtime.ref("Echo", "e").ping()
+        await sched.sleep(0.1)  # let the duplicate execute
+        return result
+
+    # The caller sees exactly one answer even though the method ran twice.
+    assert sched.run_until_complete(main()) == "pong"
+    assert Echo.calls == 2
