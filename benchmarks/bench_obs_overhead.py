@@ -1,0 +1,165 @@
+"""Observability overhead budget.
+
+The tracing design claims two things (DESIGN.md §6):
+
+1. **Disabled is free**: every producer site guards on ``tracer.enabled``
+   (a plain attribute read), so a run with tracing off performs *zero*
+   allocations in the tracing module — verified here with tracemalloc.
+2. **Enabled is cheap**: full span production (one span per message, with
+   queue/cpu/network/storage attribution) costs < 5% of the paper's
+   calibrated insert workload.
+
+The 5% budget is asserted as a ratio of two *individually stable*
+measurements — the per-span lifecycle cost (begin with a parent and a
+lazy name, four attribution adds, finish; min over tight reps) divided by
+the per-message cost of the calibrated workload (CPU seconds of the load
+phase over messages sent, min over runs) — rather than by differencing
+two whole-workload timings.  On a shared machine, run-to-run CPU-time
+jitter is the same order as the effect being measured, so an A/B
+difference of macro runs flaps; each side of this ratio, however, is a
+minimum over repetitions of the same code and converges.  Direct A/B
+runs on a quiet machine agree with the ratio (2–4%, see EXPERIMENTS.md).
+
+The budget is asserted against the representative workload, not the
+zero-cost ping harness: a do-nothing round trip is ~25µs of pure harness
+work, so *any* per-message instrumentation would dominate it, while a
+calibrated message carries CPU, network, mailbox, and storage events.
+
+Run with: ``python -m pytest benchmarks/bench_obs_overhead.py -q``
+"""
+
+import time
+import tracemalloc
+
+from repro.bench.instances import M5_LARGE
+from repro.bench.workload import LoadConfig, build_deployment, execute, provision
+from repro.kernel import Scheduler
+from repro.net import ConstantLatency, Network
+from repro.obs.trace import Tracer
+from repro.runtime import Actor, AodbRuntime, RuntimeConfig
+
+SENSORS = 40
+DURATION = 2.0
+
+
+def run_workload(tracing: bool):
+    """One calibrated insert run.
+
+    Returns (load-phase CPU seconds, messages sent during the load phase,
+    runtime).  Provisioning runs before the clock starts.
+    """
+    deployment = build_deployment([M5_LARGE], seed=7, tracing=tracing)
+    deployment.scheduler.run_until_complete(provision(deployment, SENSORS))
+    stats = deployment.runtime.stats
+    before = stats.asks + stats.tells
+    started = time.process_time()
+    execute(deployment, LoadConfig(sensors=SENSORS, duration=DURATION))
+    elapsed = time.process_time() - started
+    return elapsed, stats.asks + stats.tells - before, deployment.runtime
+
+
+class _Key:
+    """Stands in for an ActorKey: spans format names lazily via qualified()."""
+
+    def qualified(self):
+        return "Sensor/s-1"
+
+
+def span_lifecycle_cost(iterations: int = 20_000, reps: int = 7) -> float:
+    """Best-case CPU seconds for one full span, attribution included."""
+    tracer = Tracer(enabled=True, max_spans=iterations + 10)
+    key = _Key()
+    best = float("inf")
+    for _ in range(reps):
+        tracer.clear()
+        root = tracer.begin("root", "client", "client", 0.0)
+        started = time.process_time()
+        for _ in range(iterations):
+            span = tracer.begin(
+                key, "ask", "silo-0", 0.0, parent=root, method="ingest"
+            )
+            span.queue += 0.001
+            span.cpu += 0.002
+            span.network += 0.0005
+            span.storage += 0.0001
+            tracer.finish(span, 0.01)
+        elapsed = time.process_time() - started
+        best = min(best, elapsed / iterations)
+    return best
+
+
+def per_message_cost(runs: int = 3) -> float:
+    """Best-case CPU seconds per message of the calibrated workload."""
+    run_workload(tracing=False)  # warm allocator, code objects, caches
+    best = float("inf")
+    for _ in range(runs):
+        elapsed, messages, _runtime = run_workload(tracing=False)
+        assert messages > 0
+        best = min(best, elapsed / messages)
+    return best
+
+
+def test_enabled_tracing_overhead_under_five_percent():
+    """Span production costs < 5% of a calibrated message's CPU time."""
+    span_cost = span_lifecycle_cost()
+    message_cost = per_message_cost()
+    overhead = span_cost / message_cost
+    assert overhead < 0.05, (
+        f"tracing overhead {overhead * 100:.2f}% "
+        f"(span {span_cost * 1e6:.2f}µs, message {message_cost * 1e6:.2f}µs)"
+    )
+
+
+def test_enabled_tracing_actually_records():
+    """The cost being budgeted is real work: spans were produced."""
+    _elapsed, messages, runtime = run_workload(tracing=True)
+    assert len(runtime.tracer) >= messages  # one span per message, plus timers
+    assert runtime.tracer.dropped == 0
+
+
+# -- disabled-path allocation check (tight harness on purpose) ----------------
+
+
+class PingActor(Actor):
+    async def ping(self):
+        return 1
+
+
+def run_ping_round_trips(count: int = 2000):
+    sched = Scheduler()
+    config = RuntimeConfig(
+        default_method_cost=0.0, activation_cost=0.0, copy_messages=False
+    )
+    runtime = AodbRuntime(
+        sched,
+        config=config,
+        network=Network(sched, lan=ConstantLatency(0.0)),
+        tracer=Tracer(enabled=False),
+    )
+    runtime.add_silo("s1", cores=4)
+    runtime.register_actor(PingActor)
+
+    async def main():
+        ref = runtime.ref("PingActor", "a")
+        for _ in range(count):
+            await ref.ping()
+
+    sched.run_until_complete(main())
+    return runtime
+
+
+def test_disabled_tracing_allocates_nothing():
+    """With tracing off, the tracing module performs zero allocations."""
+    run_ping_round_trips()  # warm imports and code objects
+    tracemalloc.start()
+    try:
+        runtime = run_ping_round_trips()
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    trace_allocs = snapshot.filter_traces(
+        [tracemalloc.Filter(True, "*/obs/trace.py")]
+    )
+    assert sum(stat.count for stat in trace_allocs.statistics("filename")) == 0
+    assert len(runtime.tracer) == 0
+    assert runtime.tracer.dropped == 0

@@ -8,7 +8,7 @@ from .constraints import (
     UniquenessConstraint,
 )
 from .database import AodbDatabase
-from .index import IndexRegistry
+from .index import MISSING, IndexRegistry
 from .query import Query, QueryResult
 from .transactions import LockManager, Transaction
 from .workflow import Workflow, WorkflowOutcome, WorkflowStep
@@ -18,6 +18,7 @@ __all__ = [
     "AuditReport",
     "ConstraintViolation",
     "IndexRegistry",
+    "MISSING",
     "RelationshipConstraint",
     "UniquenessConstraint",
     "LockManager",

@@ -21,6 +21,18 @@ from ..errors import IndexError_
 from ..runtime.key import ActorKey
 
 
+class _Missing:
+    """Sentinel for "no value": distinct from None, which is indexable."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "MISSING"
+
+
+MISSING = _Missing()
+
+
 class IndexRegistry:
     """Eagerly-maintained hash indexes plus per-type extents."""
 
@@ -53,8 +65,15 @@ class IndexRegistry:
     ) -> None:
         """Move ``key`` from the old value's bucket to the new value's.
 
-        ``old_value=None`` inserts; ``new_value=None`` removes.  Unhashable
-        values are rejected — index keys must be value-like.
+        ``old_value=MISSING`` inserts; ``new_value=MISSING`` removes.
+        ``None`` is an ordinary, indexable value — an attribute explicitly
+        set to None round-trips through lookups like any other (an earlier
+        revision used None as the sentinel, which silently dropped such
+        attributes from the index).  For backward compatibility None is
+        still accepted in the *old_value* position as "no previous value":
+        discarding from the None bucket is a no-op unless the actor really
+        was indexed under None.  Unhashable values are rejected — index
+        keys must be value-like.
         """
         index = self._indexes.get((key.type_name, attr))
         if index is None:
@@ -63,13 +82,13 @@ class IndexRegistry:
                 "declare it before updating"
             )
         self.updates += 1
-        if old_value is not None:
+        if old_value is not MISSING:
             bucket = index.get(old_value)
             if bucket is not None:
                 bucket.discard(key.actor_id)
                 if not bucket:
                     del index[old_value]
-        if new_value is not None:
+        if new_value is not MISSING:
             try:
                 index.setdefault(new_value, set()).add(key.actor_id)
             except TypeError as exc:

@@ -5,6 +5,8 @@ Usage::
     python -m repro.bench fig6            # one experiment
     python -m repro.bench all             # everything (several minutes)
     python -m repro.bench fig7 --quick    # scaled-down sweep
+    python -m repro.bench trace           # traced run: causal trees
+    python -m repro.bench trace --smoke   # + invariant checks (CI gate)
 """
 
 from __future__ import annotations
@@ -51,15 +53,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(RUNNERS) + ["all"],
-        help="which figure/ablation to run",
+        choices=sorted(RUNNERS) + ["all", "trace"],
+        help="which figure/ablation to run (or a traced demonstration run)",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help="scaled-down parameters (seconds instead of minutes)",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="trace only: tiny scenario plus tracing-invariant checks",
+    )
     args = parser.parse_args(argv)
+    if args.experiment == "trace":
+        from .tracebench import run_trace_bench
+
+        print(run_trace_bench(smoke=args.smoke))
+        return 0
     names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
     for name in names:
         runner = RUNNERS[name]

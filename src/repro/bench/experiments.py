@@ -47,6 +47,7 @@ class FigPoint:
     insert: Summary | None = None
     live: Summary | None = None
     raw: Summary | None = None
+    metrics: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -81,6 +82,7 @@ def _run_point(
         insert=insert,
         live=result.summary("live"),
         raw=result.summary("raw"),
+        metrics=result.metrics,
     )
 
 

@@ -190,3 +190,5 @@ def _std(values: list[float]) -> float:
         return 0.0
     mean = _mean(values)
     return math.sqrt(sum((v - mean) ** 2 for v in values) / (len(values) - 1))
+
+

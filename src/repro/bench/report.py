@@ -21,6 +21,51 @@ def _ms(value: float | None) -> str:
     return "-" if value is None else f"{value * 1000:.0f}"
 
 
+_APPENDIX_METRICS = (
+    # The cluster-total counters worth printing under every figure table;
+    # everything else stays available via MetricsRegistry.snapshot().
+    "runtime.asks",
+    "runtime.tells",
+    "runtime.replies",
+    "runtime.errors",
+    "runtime.activations_created",
+    "runtime.activations_collected",
+    "runtime.calls_retried",
+    "runtime.deadlines_exceeded",
+    "net.messages",
+    "net.remote_messages",
+    "net.loopback_messages",
+    "storage.rcu_consumed",
+    "storage.wcu_consumed",
+    "storage.throttled_reads",
+    "storage.throttled_writes",
+    "ingest.accepted",
+    "ingest.shed",
+    "placement.decisions",
+)
+
+
+def format_metrics_appendix(totals: dict) -> str:
+    """Render a run's cluster-total metrics as an indented appendix."""
+    if not totals:
+        return ""
+    lines = ["  metrics appendix (cluster totals, final run):"]
+    shown = [name for name in _APPENDIX_METRICS if totals.get(name)]
+    for name in shown:
+        value = totals[name]
+        rendered = f"{value:.4g}" if isinstance(value, float) else str(value)
+        lines.append(f"    {name} = {rendered}")
+    if not shown:
+        return ""
+    return "\n" + "\n".join(lines)
+
+
+def _figure_appendix(result: FigResult) -> str:
+    if not result.points:
+        return ""
+    return format_metrics_appendix(result.points[-1].metrics)
+
+
 def format_throughput_figure(result: FigResult) -> str:
     """Figures 6 and 7: throughput vs offered load."""
     headers = [
@@ -39,7 +84,7 @@ def format_throughput_figure(result: FigResult) -> str:
     ]
     body = _table(headers, rows)
     notes = "".join(f"\n  {key}: {value}" for key, value in result.notes.items())
-    return f"{result.figure}: {result.title}\n{body}{notes}"
+    return f"{result.figure}: {result.title}\n{body}{notes}{_figure_appendix(result)}"
 
 
 def format_latency_figure(result: FigResult, kind: str) -> str:
@@ -60,7 +105,7 @@ def format_latency_figure(result: FigResult, kind: str) -> str:
             ]
         )
     body = _table(headers, rows)
-    return f"{result.figure}: {result.title}\n{body}"
+    return f"{result.figure}: {result.title}\n{body}{_figure_appendix(result)}"
 
 
 def format_ablation(result: AblationResult) -> str:

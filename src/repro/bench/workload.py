@@ -20,6 +20,7 @@ from ..kernel.rng import RngRegistry
 from ..kernel.scheduler import Scheduler
 from ..net.latency import ConstantLatency
 from ..net.network import Network
+from ..obs.trace import Tracer
 from ..runtime.key import ActorKey
 from ..runtime.runtime import AodbRuntime
 from ..shm.platform import ProvisionReport, ShmPlatform, channel_id_for
@@ -64,6 +65,7 @@ class RunResult:
     measure_start: float
     measure_end: float
     utilization: dict[str, float] = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
 
     def summary(self, kind: str) -> Summary | None:
         return self.recorder.summarize(
@@ -91,15 +93,28 @@ def build_deployment(
     window_capacity: int = 256,
     enable_aggregation: bool = False,
     scheduler: Scheduler | None = None,
+    tracing: bool = False,
 ) -> Deployment:
-    """Assemble runtime + database + SHM platform over simulated servers."""
+    """Assemble runtime + database + SHM platform over simulated servers.
+
+    ``tracing=True`` turns on the causal tracer (spans for every message);
+    it stays off for figure runs so measurements reflect the uninstrumented
+    hot path.  The metrics registry is always on — it is pull-based and
+    costs nothing until snapshotted.
+    """
     scheduler = scheduler or Scheduler()
     rng = RngRegistry(seed)
     config = calibrated_config(seed)
     network = Network(
         scheduler, rng=rng, lan=ConstantLatency(LAN_LATENCY_SECONDS)
     )
-    runtime = AodbRuntime(scheduler, config=config, network=network, rng=rng)
+    runtime = AodbRuntime(
+        scheduler,
+        config=config,
+        network=network,
+        rng=rng,
+        tracer=Tracer(enabled=tracing),
+    )
     for index, instance_type in enumerate(silos):
         runtime.add_silo(
             f"silo-{index}",
@@ -261,6 +276,7 @@ async def run_load(deployment: Deployment, load: LoadConfig) -> RunResult:
         measure_start=start,
         measure_end=stop,
         utilization=utilization,
+        metrics=deployment.runtime.metrics.cluster_totals(),
     )
 
 

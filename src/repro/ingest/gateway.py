@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from ..errors import PlatformError, ThrottlingError
 from ..kernel.scheduler import Scheduler, Task
 from ..kernel.sync import Queue
+from ..obs.trace import Tracer
 from ..runtime.resilience import CircuitBreaker
 from ..shm.platform import ShmPlatform
 from .adapters import AdapterRegistry, NormalizedBatch
@@ -87,6 +88,24 @@ class IngestGateway:
         self._dispatcher_count = dispatchers
         self._dispatchers: list[Task] = []
         self._stopping = False
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Export gateway counters on the runtime's metrics registry."""
+        # getattr: tests drive the gateway against minimal platform fakes
+        # that don't carry the observability substrates.
+        registry = getattr(self.platform.runtime, "metrics", None)
+        if registry is None:
+            return
+        stats = self.stats
+        for name in (
+            "accepted", "rejected", "dropped", "dispatched",
+            "parse_errors", "shed", "throttled", "redispatched",
+        ):
+            registry.register_probe(
+                f"ingest.{name}", lambda n=name: getattr(stats, n)
+            )
+        registry.register_probe("ingest.queue_depth", lambda: len(self._queue))
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -163,6 +182,9 @@ class IngestGateway:
     # -- dispatchers ----------------------------------------------------------------
 
     async def _dispatch_loop(self) -> None:
+        tracer = getattr(self.platform.runtime, "tracer", None)
+        if tracer is None:
+            tracer = Tracer(enabled=False)
         while True:
             envelope = await self._queue.get()
             if self.breaker is not None and not self.breaker.allow():
@@ -173,21 +195,50 @@ class IngestGateway:
                     max(0.01, self.breaker.seconds_until_probe())
                 )
                 continue
+            span = None
+            if tracer.enabled:
+                # Root of the ingest causal tree.  Starting the span at
+                # arrival time makes gateway-queue wait part of the trace:
+                # it shows up as this span's ``queue`` component.
+                now = self._scheduler.now
+                span = tracer.begin(
+                    f"ingest:{envelope.sensor_id}",
+                    "ingest",
+                    "gateway",
+                    now,
+                    start=envelope.received_at,
+                )
+                if span is not None:
+                    span.queue += now - envelope.received_at
             try:
-                await self.platform.ingest(envelope.sensor_id, envelope.batch)
+                # Only thread the kwarg when tracing: duck-typed platform
+                # fakes in tests implement the bare ingest(sensor_id, batch).
+                if span is not None:
+                    await self.platform.ingest(
+                        envelope.sensor_id, envelope.batch, trace=span
+                    )
+                else:
+                    await self.platform.ingest(envelope.sensor_id, envelope.batch)
             except ThrottlingError as exc:
                 self.stats.throttled += 1
+                tracer.finish(
+                    span, self._scheduler.now, status="error", error=str(exc)
+                )
                 if self.breaker is not None:
                     self.breaker.record_failure()
                 self._requeue(envelope)
                 await self._scheduler.sleep(
                     getattr(exc, "retry_after", 0.0) or 0.05
                 )
-            except PlatformError:
+            except PlatformError as exc:
                 # A bad sensor id or channel set: count and keep serving.
                 self.stats.parse_errors += 1
+                tracer.finish(
+                    span, self._scheduler.now, status="error", error=str(exc)
+                )
             else:
                 self.stats.dispatched += 1
+                tracer.finish(span, self._scheduler.now)
                 if self.breaker is not None:
                     self.breaker.record_success()
 

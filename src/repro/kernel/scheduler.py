@@ -168,6 +168,11 @@ class Scheduler:
         """Current virtual time in seconds."""
         return self._now
 
+    @property
+    def pending_events(self) -> int:
+        """Events currently queued (an observability probe reads this)."""
+        return len(self._events)
+
     # -- event scheduling -----------------------------------------------------
 
     def call_at(self, when: float, action: Callable[[], None]) -> None:

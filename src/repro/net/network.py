@@ -107,8 +107,11 @@ class Network:
         self.stats.duplicated_messages += 1
         return True
 
-    async def transfer(self, source: str, target: str) -> None:
+    async def transfer(self, source: str, target: str) -> float:
         """Delay the caller by one message latency and record stats.
+
+        Returns the sampled delay in virtual seconds so callers (the actor
+        runtime) can attribute it to a trace span without re-measuring.
 
         Raises :class:`KeyError` if either endpoint is unknown — an unknown
         target means cluster membership and the caller's routing disagree,
@@ -129,10 +132,29 @@ class Network:
             self.stats.lost_messages += 1
             lost: Future[None] = Future(f"lost:{source}->{target}")
             await lost
-            return  # pragma: no cover - the future never resolves
+            return 0.0  # pragma: no cover - the future never resolves
         delay = self.latency_for(source, target)
         if self.faults is not None:
             delay += self.faults.extra_delay_for(source, target, self._scheduler.now)
         self.stats.record(source, source == target, delay)
         if delay > 0:
             await self._scheduler.sleep(delay)
+        return delay
+
+    def register_metrics(self, registry: "object") -> None:
+        """Export the network counters as pull-probes on ``registry``.
+
+        Typed loosely to avoid importing :mod:`repro.obs` here (the net
+        layer sits below the observability package in the import graph).
+        """
+        stats = self.stats
+        registry.register_probe("net.messages", lambda: stats.messages)
+        registry.register_probe("net.remote_messages", lambda: stats.remote_messages)
+        registry.register_probe(
+            "net.loopback_messages", lambda: stats.loopback_messages
+        )
+        registry.register_probe("net.lost_messages", lambda: stats.lost_messages)
+        registry.register_probe(
+            "net.duplicated_messages", lambda: stats.duplicated_messages
+        )
+        registry.register_probe("net.total_latency_seconds", lambda: stats.total_latency)

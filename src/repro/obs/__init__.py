@@ -1,0 +1,44 @@
+"""repro.obs — the observability layer: causal tracing + metrics registry.
+
+Two substrates every other subsystem plugs into:
+
+- :mod:`repro.obs.trace` — :class:`Tracer` / :class:`Span`: per-message
+  causal spans in virtual time with a queue/CPU/network/storage breakdown,
+  reconstructable into full caller→callee trees (:class:`TraceTree`);
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: cheap counters,
+  gauges, histograms and pull-style probes, snapshotable per silo and
+  cluster-wide.
+
+``python -m repro.bench trace`` renders a traced scenario end to end.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metric,
+)
+from .render import (
+    format_span_line,
+    render_critical_path,
+    render_metrics,
+    render_tree,
+)
+from .trace import Span, TraceTree, Tracer, span_summary
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceTree",
+    "Tracer",
+    "format_metric",
+    "format_span_line",
+    "render_critical_path",
+    "render_metrics",
+    "render_tree",
+    "span_summary",
+]

@@ -1,0 +1,93 @@
+"""Render trace trees, critical paths and metrics snapshots as text.
+
+The output format is the one documented in DESIGN.md's observability
+section: one line per span, indented by causal depth, with the virtual-time
+breakdown in milliseconds::
+
+    live_data trace 42 (18 spans, 3.1 ms end-to-end)
+    └─ ask Organization/org-0.live_data  3.1ms  [queue 0.0 | cpu 0.4 | net 1.0 | sto 0.0 | wait 1.7]
+       ├─ ask PhysicalSensorChannel/....latest  1.2ms  [...]
+       ...
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .trace import Span, TraceTree
+
+
+def _ms(value: float) -> str:
+    return f"{value * 1000:.2f}"
+
+
+def format_span_line(span: Span) -> str:
+    """One span rendered as ``kind name duration [breakdown]``."""
+    b = span.breakdown()
+    parts = (
+        f"queue {_ms(b['queue'])} | cpu {_ms(b['cpu'])} | "
+        f"net {_ms(b['network'])} | sto {_ms(b['storage'])} | "
+        f"wait {_ms(b['other'])}"
+    )
+    attempt = f" attempt={span.attempt}" if span.attempt else ""
+    status = "" if span.status == "ok" else f" !{span.status}"
+    silo = f" @{span.silo_id}" if span.silo_id else ""
+    return (
+        f"{span.kind} {span.name}{silo}  {_ms(span.duration)}ms  "
+        f"[{parts}]{attempt}{status}"
+    )
+
+
+def render_tree(tree: TraceTree, title: str = "", max_lines: int = 200) -> str:
+    """The whole causal tree, one indented line per span."""
+    walk = tree.walk()
+    root = tree.root
+    header = (
+        f"{title or root.name}: trace {root.trace_id} "
+        f"({len(walk)} spans, {_ms(root.duration)} ms end-to-end)"
+    )
+    lines = [header]
+    for depth, span in walk[:max_lines]:
+        prefix = "  " * depth + ("└─ " if depth else "── ")
+        lines.append(prefix + format_span_line(span))
+    if len(walk) > max_lines:
+        lines.append(f"  ... {len(walk) - max_lines} more spans elided")
+    return "\n".join(lines)
+
+
+def render_critical_path(tree: TraceTree) -> str:
+    """The root→leaf chain that determined the end-to-end latency."""
+    path = tree.critical_path()
+    lines = [f"critical path ({len(path)} spans):"]
+    previous_end = tree.root.start
+    for span in path:
+        contribution = (span.end or span.start) - previous_end
+        previous_end = span.end or span.start
+        lines.append(
+            f"  +{_ms(max(0.0, contribution))}ms  {format_span_line(span)}"
+        )
+    totals = tree.totals()
+    lines.append(
+        "tree totals: "
+        + " ".join(f"{key}={_ms(value)}ms" for key, value in totals.items())
+    )
+    return "\n".join(lines)
+
+
+def render_metrics(
+    registry: MetricsRegistry,
+    title: str = "metrics appendix",
+    only_prefixes: tuple[str, ...] = (),
+) -> str:
+    """A sorted ``name{labels} = value`` listing of the registry."""
+    lines = [title]
+    snapshot = registry.snapshot()
+    for key in sorted(snapshot):
+        value = snapshot[key]
+        if only_prefixes and not any(key.startswith(p) for p in only_prefixes):
+            continue
+        if isinstance(value, dict):
+            inner = ", ".join(f"{k}={v:.6g}" for k, v in value.items())
+            lines.append(f"  {key} = {{{inner}}}")
+        else:
+            lines.append(f"  {key} = {value:.6g}")
+    return "\n".join(lines)

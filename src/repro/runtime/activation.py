@@ -62,6 +62,9 @@ class Activation:
         self.closed = Event(runtime.scheduler)
         self.broken: BaseException | None = None
         self.active_chain: tuple[str, ...] = ()
+        # Span of the turn currently executing, so sub-calls made through
+        # ``context.actor(...)`` become its children (None when untraced).
+        self.active_span: Any = None
         self.last_used = runtime.scheduler.now
         self.messages_handled = 0
         self._inflight = 0
@@ -188,6 +191,13 @@ class Activation:
     async def _handle(self, invocation: Invocation) -> None:
         self.last_used = self.runtime.scheduler.now
         invocation.started_at = self.last_used
+        span = invocation.span
+        if span is not None and span.end is None:
+            # Mailbox wait: from enqueue until this turn started.  For the
+            # first message of a fresh activation this includes activation
+            # start (CPU charge, state load, on_activate).
+            span.queue += invocation.started_at - invocation.enqueued_at
+            span.silo_id = self.silo.silo_id
         if (
             invocation.deadline is not None
             and self.last_used >= invocation.deadline
@@ -202,7 +212,11 @@ class Activation:
         result: Any = None
         if invocation.method == "__flush_state__":
             try:
+                flush_started = self.runtime.scheduler.now
                 await self._flush_if_dirty()
+                if span is not None and span.end is None:
+                    span.storage += self.runtime.scheduler.now - flush_started
+                self.runtime._reply(invocation, None, None, self.silo.silo_id)
             except Exception as exc:  # noqa: BLE001 - storage failure
                 # A timer-driven flush failed (e.g. storage throttling):
                 # record it; the state stays dirty and the next interval
@@ -241,11 +255,16 @@ class Activation:
                     else self.runtime.config.default_method_cost
                 )
             if cost > 0:
+                cpu_started = self.runtime.scheduler.now
                 await self.silo.cpu.consume(cost)
+                if span is not None and span.end is None:
+                    # Core-queueing plus service: the silo-contention signal.
+                    span.cpu += self.runtime.scheduler.now - cpu_started
             if not self.instance.reentrant:
                 # Sub-calls made by this turn carry the extended chain, so
                 # cycles back into this (busy) actor are detectable.
                 self.active_chain = invocation.chain + (self.key.qualified(),)
+            self.active_span = span
             try:
                 result = await method(*invocation.args, **invocation.kwargs)
             except GeneratorExit:
@@ -254,6 +273,7 @@ class Activation:
                 error = exc
             finally:
                 self.active_chain = ()
+                self.active_span = None
         self.messages_handled += 1
         self.last_used = self.runtime.scheduler.now
         if (
@@ -264,7 +284,10 @@ class Activation:
         ):
             self.instance.mark_dirty()
             try:
+                flush_started = self.runtime.scheduler.now
                 await self._flush_if_dirty()
+                if span is not None and span.end is None:
+                    span.storage += self.runtime.scheduler.now - flush_started
             except Exception as exc:  # noqa: BLE001 - surface to the caller
                 # Write-through means "durable when acknowledged": if the
                 # flush fails (storage throttling, conditional conflict),
@@ -279,9 +302,16 @@ class Activation:
 
     def _fail_pending(self, exc: BaseException) -> None:
         for message in self.mailbox.drain_nowait():
-            if message is not _CLOSE and message.reply is not None:
-                if not message.reply.done():
-                    message.reply.set_exception(exc)
+            if message is _CLOSE:
+                continue
+            if message.reply is not None and not message.reply.done():
+                message.reply.set_exception(exc)
+            self.runtime.tracer.finish(
+                message.span,
+                self.runtime.scheduler.now,
+                status="error",
+                error=str(exc),
+            )
 
     def abort(self, fault: BaseException) -> None:
         """Tear the activation down *ungracefully*, as a process crash would.
@@ -347,9 +377,26 @@ class Activation:
                     caller_endpoint=self.silo.silo_id,
                     one_way=True,
                 )
+                tracer = self.runtime.tracer
+                if tracer.enabled:
+                    # Timer fires start fresh causal trees: nothing "called"
+                    # them, the clock did.
+                    invocation.span = tracer.begin(
+                        self.key,
+                        "timer",
+                        self.silo.silo_id,
+                        self.runtime.scheduler.now,
+                        method=method,
+                    )
                 try:
                     self.enqueue(invocation)
                 except ActorDeactivatedError:
+                    tracer.finish(
+                        invocation.span,
+                        self.runtime.scheduler.now,
+                        status="error",
+                        error="actor deactivated",
+                    )
                     return
 
         self._timers[name] = self.runtime.scheduler.spawn(

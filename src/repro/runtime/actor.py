@@ -81,11 +81,19 @@ class ActorContext:
         """A reference to another actor, calling from this silo.
 
         The reference carries the current call chain, so cycles through
-        non-reentrant actors are detected instead of deadlocking.
+        non-reentrant actors are detected instead of deadlocking.  It also
+        carries the current turn's trace span, so traced calls fan out into
+        a causal tree.
         """
-        chain = getattr(self.activation, "active_chain", ())  # type: ignore[attr-defined]
+        activation = self.activation  # type: ignore[attr-defined]
+        chain = getattr(activation, "active_chain", ())
+        span = getattr(activation, "active_span", None)
         return self.runtime.ref(
-            type_name, actor_id, caller_endpoint=self.silo_id, chain=chain
+            type_name,
+            actor_id,
+            caller_endpoint=self.silo_id,
+            chain=chain,
+            trace=span,
         )
 
     def register_timer(self, name: str, period: float, method: str, *args: Any) -> None:
@@ -202,7 +210,10 @@ class Actor:
                 f"{type(self).__name__}.{attr} is not declared in "
                 "indexed_attributes"
             )
-        old_value = self.state.get(attr)
+        # Local import: repro.aodb imports the runtime package at load time.
+        from ..aodb.index import MISSING
+
+        old_value = self.state.get(attr, MISSING)
         self.state[attr] = value
         self.mark_dirty()
         database = self.context.runtime.database

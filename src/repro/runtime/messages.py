@@ -9,10 +9,13 @@ the reply future for ask-style calls).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..kernel.futures import Future
 from .key import ActorKey
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.trace import Span
 
 
 @dataclass(slots=True)
@@ -37,6 +40,10 @@ class Invocation:
     sent_at: float = 0.0
     enqueued_at: float = 0.0
     started_at: float = 0.0
+
+    # The causal-tracing span covering this invocation (None when tracing
+    # is disabled).  Runtime-internal: never serialized with the payload.
+    span: "Span | None" = None
 
     def describe(self) -> str:
         """Short human-readable form for errors and traces."""

@@ -24,6 +24,7 @@ from .messages import DeliveryReceipt
 from .resilience import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.trace import Span
     from .runtime import AodbRuntime
 
 
@@ -46,7 +47,15 @@ class RemoteMethod:
 class ActorRef:
     """A location-transparent handle to a virtual actor."""
 
-    __slots__ = ("_runtime", "key", "caller_endpoint", "chain", "_deadline", "_retry")
+    __slots__ = (
+        "_runtime",
+        "key",
+        "caller_endpoint",
+        "chain",
+        "_deadline",
+        "_retry",
+        "_trace",
+    )
 
     def __init__(
         self,
@@ -56,6 +65,7 @@ class ActorRef:
         chain: tuple[str, ...] = (),
         deadline: float | None = None,
         retry: RetryPolicy | None = None,
+        trace: "Span | None" = None,
     ) -> None:
         self._runtime = runtime
         self.key = key
@@ -63,6 +73,9 @@ class ActorRef:
         self.chain = chain
         self._deadline = deadline
         self._retry = retry
+        # Parent span for causal tracing: calls through this reference
+        # become children of ``trace`` (None outside a traced turn).
+        self._trace = trace
 
     def with_options(
         self,
@@ -81,6 +94,7 @@ class ActorRef:
             self.chain,
             deadline=deadline if deadline is not None else self._deadline,
             retry=retry if retry is not None else self._retry,
+            trace=self._trace,
         )
 
     def ask(
@@ -118,6 +132,7 @@ class ActorRef:
                 caller_endpoint=self.caller_endpoint,
                 one_way=False,
                 chain=self.chain,
+                parent_span=self._trace,
             )
         return self._runtime.send_resilient(
             self.key,
@@ -128,6 +143,7 @@ class ActorRef:
             chain=self.chain,
             retry=retry,
             deadline=deadline,
+            parent_span=self._trace,
         )
 
     def tell(self, method: str, *args: Any, **kwargs: Any) -> DeliveryReceipt:
@@ -144,6 +160,7 @@ class ActorRef:
             kwargs,
             caller_endpoint=self.caller_endpoint,
             chain=self.chain,
+            parent_span=self._trace,
         )
 
     def __getattr__(self, name: str) -> RemoteMethod:

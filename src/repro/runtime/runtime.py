@@ -30,6 +30,8 @@ from ..kernel.futures import Future
 from ..kernel.rng import RngRegistry
 from ..kernel.scheduler import Scheduler, Task
 from ..net.network import Network
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Span, Tracer
 from ..storage.kv import InMemoryKVStore, KeyValueStore
 from ..storage.serde import snapshot
 from ..storage.system_store import SystemStore
@@ -84,11 +86,17 @@ class AodbRuntime:
         network: Network | None = None,
         system_store: SystemStore | None = None,
         rng: RngRegistry | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.scheduler = scheduler or Scheduler()
         self.config = config or RuntimeConfig()
         self.config.validate()
         self.rng = rng or RngRegistry(self.config.seed)
+        # Explicit None checks: a Tracer with no spans and an empty registry
+        # are falsy-adjacent objects we must not silently replace.
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.network = network or Network(self.scheduler, rng=self.rng)
         self.system_store = system_store or SystemStore(self.scheduler)
         # Explicit None check: stores define __len__, so an empty store is
@@ -111,6 +119,41 @@ class AodbRuntime:
         # Set by AodbDatabase when database features are layered on top.
         self.database: Any = None
         self.network.register(CLIENT_ENDPOINT)
+        self.network.register_metrics(self.metrics)
+        # Provisioned stores export RCU/WCU/throttling probes; the plain
+        # in-memory store has nothing to report.
+        register = getattr(self.grain_storage, "register_metrics", None)
+        if register is not None:
+            register(self.metrics)
+        self._register_runtime_metrics()
+
+    def _register_runtime_metrics(self) -> None:
+        """Export kernel + runtime state as pull-probes (snapshot-time only)."""
+        registry = self.metrics
+        scheduler = self.scheduler
+        stats = self.stats
+        registry.register_probe("kernel.pending_events", lambda: scheduler.pending_events)
+        registry.register_probe(
+            "kernel.events_processed", lambda: scheduler.events_processed
+        )
+        registry.register_probe("kernel.virtual_time", lambda: scheduler.now)
+        for name in (
+            "asks", "tells", "replies", "errors", "dropped_messages",
+            "activations_created", "activations_collected",
+            "activations_crashed", "activation_failures",
+            "reminders_delivered", "calls_retried", "deadlines_exceeded",
+            "silos_suspected", "silos_evicted", "activations_replaced",
+        ):
+            registry.register_probe(
+                f"runtime.{name}", lambda n=name: getattr(stats, n)
+            )
+        registry.register_probe(
+            "runtime.total_activations", lambda: self.total_activations()
+        )
+        registry.register_probe(
+            "trace.spans_recorded", lambda: len(self.tracer)
+        )
+        registry.register_probe("trace.spans_dropped", lambda: self.tracer.dropped)
 
     # -- registration ------------------------------------------------------------
 
@@ -167,6 +210,15 @@ class AodbRuntime:
         self._heartbeats[silo_id] = self.scheduler.spawn(
             self._heartbeat_loop(silo_id), name=f"heartbeat:{silo_id}"
         )
+        self.metrics.register_probe(
+            "silo.mailbox_depth", silo.mailbox_backlog, silo=silo_id
+        )
+        self.metrics.register_probe(
+            "silo.activations", lambda: silo.activation_count, silo=silo_id
+        )
+        self.metrics.register_probe(
+            "silo.cpu_utilization", silo.cpu.utilization, silo=silo_id
+        )
         return silo
 
     async def _heartbeat_loop(self, silo_id: str) -> None:
@@ -206,6 +258,7 @@ class AodbRuntime:
         self.system_store.retire(silo_id)
         self.network.unregister(silo_id)
         del self._silos[silo_id]
+        self.metrics.unregister_probes(silo=silo_id)
         heartbeat = self._heartbeats.pop(silo_id, None)
         if heartbeat is not None:
             heartbeat.cancel()
@@ -246,6 +299,7 @@ class AodbRuntime:
             self.system_store.retire(silo_id)
             self.network.unregister(silo_id)
             del self._silos[silo_id]
+            self.metrics.unregister_probes(silo=silo_id)
         else:
             silo.crashed = True
         return lost
@@ -263,10 +317,13 @@ class AodbRuntime:
         actor_id: str,
         caller_endpoint: str = CLIENT_ENDPOINT,
         chain: tuple[str, ...] = (),
+        trace: Span | None = None,
     ) -> ActorRef:
         """A reference to the virtual actor ``type_name/actor_id``."""
         self.actor_type(type_name)  # fail fast on unknown types
-        return ActorRef(self, ActorKey(type_name, actor_id), caller_endpoint, chain)
+        return ActorRef(
+            self, ActorKey(type_name, actor_id), caller_endpoint, chain, trace=trace
+        )
 
     def send(
         self,
@@ -278,6 +335,8 @@ class AodbRuntime:
         one_way: bool = False,
         chain: tuple[str, ...] = (),
         deadline_at: float | None = None,
+        parent_span: Span | None = None,
+        attempt: int = 0,
     ) -> Future[Any]:
         """Route an ask-style invocation; returns the reply future.
 
@@ -290,6 +349,18 @@ class AodbRuntime:
         invocation = self._make_invocation(
             key, method, args, kwargs, caller_endpoint, one_way=False, chain=chain
         )
+        if self.tracer.enabled:
+            span = self.tracer.begin(
+                key,
+                "ask",
+                caller_endpoint,
+                self.scheduler.now,
+                parent=parent_span,
+                method=method,
+            )
+            if span is not None and attempt:
+                span.attempt = attempt
+            invocation.span = span
         invocation.deadline = deadline_at
         invocation.reply = Future(f"reply:{invocation.describe()}")
         if deadline_at is not None:
@@ -311,6 +382,12 @@ class AodbRuntime:
                         f"(t={deadline_at:.3f})"
                     )
                 )
+                self.tracer.finish(
+                    invocation.span,
+                    self.scheduler.now,
+                    status="deadline",
+                    error="deadline exceeded",
+                )
 
         self.scheduler.call_at(deadline_at, expire)
 
@@ -324,6 +401,7 @@ class AodbRuntime:
         chain: tuple[str, ...] = (),
         retry: RetryPolicy | None = None,
         deadline: float | None = None,
+        parent_span: Span | None = None,
     ) -> Future[Any]:
         """Ask with a call deadline and/or transparent retries.
 
@@ -339,11 +417,24 @@ class AodbRuntime:
         if retry is None:
             return self.send(
                 key, method, args, kwargs, caller_endpoint,
-                chain=chain, deadline_at=deadline_at,
+                chain=chain, deadline_at=deadline_at, parent_span=parent_span,
             )
         retry.validate()
         outer: Future[Any] = Future(f"resilient:{key}.{method}()")
         backoff_rng = self.rng.stream("retry")
+        # Retried asks get an umbrella span; each attempt hangs under it, so
+        # the trace shows attempts (with their own breakdowns) *and* the
+        # total the caller experienced, backoff sleeps included.
+        call_span = None
+        if self.tracer.enabled:
+            call_span = self.tracer.begin(
+                key,
+                "retrying-ask",
+                caller_endpoint,
+                self.scheduler.now,
+                parent=parent_span,
+                method=method,
+            )
 
         async def drive() -> None:
             attempt = 0
@@ -359,6 +450,8 @@ class AodbRuntime:
                 inner = self.send(
                     key, method, args, kwargs, caller_endpoint,
                     chain=chain, deadline_at=attempt_deadline,
+                    parent_span=call_span if call_span is not None else parent_span,
+                    attempt=attempt,
                 )
                 try:
                     result = await inner
@@ -371,6 +464,10 @@ class AodbRuntime:
                     )
                     if expired or not retry.should_retry(exc, attempt):
                         outer.set_exception(exc)
+                        self.tracer.finish(
+                            call_span, self.scheduler.now,
+                            status="error", error=str(exc),
+                        )
                         return
                     delay = retry.delay_for(attempt, backoff_rng, exc)
                     if (
@@ -379,6 +476,10 @@ class AodbRuntime:
                     ):
                         # No room for another attempt before the deadline.
                         outer.set_exception(exc)
+                        self.tracer.finish(
+                            call_span, self.scheduler.now,
+                            status="error", error=str(exc),
+                        )
                         return
                     self.stats.calls_retried += 1
                     if delay > 0:
@@ -388,6 +489,7 @@ class AodbRuntime:
                     continue
                 if not outer.done():
                     outer.set_result(result)
+                self.tracer.finish(call_span, self.scheduler.now)
                 return
 
         self.scheduler.spawn(drive(), name=f"retry:{key}.{method}()")
@@ -401,12 +503,27 @@ class AodbRuntime:
         kwargs: dict[str, Any],
         caller_endpoint: str,
         chain: tuple[str, ...] = (),
+        parent_span: Span | None = None,
+        kind: str = "tell",
     ) -> DeliveryReceipt:
-        """Route a tell-style invocation (no reply)."""
+        """Route a tell-style invocation (no reply).
+
+        ``kind`` names the span kind when tracing: plain tells say "tell",
+        the reminder pump says "reminder", the ingest gateway "ingest".
+        """
         self.stats.tells += 1
         invocation = self._make_invocation(
             key, method, args, kwargs, caller_endpoint, one_way=True, chain=chain
         )
+        if self.tracer.enabled:
+            invocation.span = self.tracer.begin(
+                key,
+                kind,
+                caller_endpoint,
+                self.scheduler.now,
+                parent=parent_span,
+                method=method,
+            )
         self.scheduler.spawn(
             self._deliver(invocation), name=f"deliver:{invocation.describe()}"
         )
@@ -479,6 +596,9 @@ class AodbRuntime:
         if not active:
             raise SiloUnavailableError("no active silos in the cluster")
         silo_id = strategy.choose(key, caller_endpoint, active)
+        self.metrics.counter(
+            "placement.decisions", strategy=strategy_name, silo=silo_id
+        ).inc()
         silo = self._silos[silo_id]
         if silo.crashed:
             # Membership hasn't noticed the crash yet, so placement can
@@ -508,9 +628,12 @@ class AodbRuntime:
             except Exception as exc:  # noqa: BLE001 - surfaced on the reply
                 self._fail_invocation(invocation, exc)
                 return
-            await self.network.transfer(
+            delay = await self.network.transfer(
                 invocation.caller_endpoint, activation.silo.silo_id
             )
+            span = invocation.span
+            if span is not None and span.end is None:
+                span.network += delay
             if activation.closing:
                 await activation.closed.wait()
                 continue
@@ -544,6 +667,9 @@ class AodbRuntime:
         self.stats.last_error = f"{invocation.describe()}: {exc}"
         if invocation.reply is not None and not invocation.reply.done():
             invocation.reply.set_exception(exc)
+        self.tracer.finish(
+            invocation.span, self.scheduler.now, status="error", error=str(exc)
+        )
 
     def _reply(
         self,
@@ -557,11 +683,23 @@ class AodbRuntime:
             self.stats.errors += 1
             self.stats.last_error = f"{invocation.describe()}: {error}"
         if invocation.reply is None:
+            # One-way: handling is done the moment the method returns.
+            self.tracer.finish(
+                invocation.span,
+                self.scheduler.now,
+                status="error" if error is not None else "ok",
+                error=str(error) if error is not None else "",
+            )
             return
 
         async def reply_path() -> None:
-            await self.network.transfer(from_silo, invocation.caller_endpoint)
+            delay = await self.network.transfer(from_silo, invocation.caller_endpoint)
+            span = invocation.span
+            if span is not None and span.end is None:
+                span.network += delay
             if invocation.reply.done():
+                # Deadline or chaos already resolved the caller's future;
+                # the span was finished by whoever resolved it.
                 return
             if error is not None:
                 invocation.reply.set_exception(error)
@@ -569,6 +707,12 @@ class AodbRuntime:
                 payload = snapshot(result) if self.config.copy_messages else result
                 invocation.reply.set_result(payload)
             self.stats.replies += 1
+            self.tracer.finish(
+                span,
+                self.scheduler.now,
+                status="error" if error is not None else "ok",
+                error=str(error) if error is not None else "",
+            )
 
         self.scheduler.spawn(reply_path(), name=f"reply:{invocation.describe()}")
 
@@ -710,6 +854,7 @@ class AodbRuntime:
             if heartbeat is not None:
                 heartbeat.cancel()
             self.network.unregister(silo_id)
+            self.metrics.unregister_probes(silo=silo_id)
         self.system_store.retire(silo_id)
         for key in registered:
             if self.directory.lookup(key) == silo_id:
@@ -740,6 +885,7 @@ class AodbRuntime:
                     (reminder.name,),
                     {},
                     caller_endpoint=CLIENT_ENDPOINT,
+                    kind="reminder",
                 )
                 self.stats.reminders_delivered += 1
                 fired += 1

@@ -64,6 +64,16 @@ class Silo:
         """Number of live activations hosted here."""
         return len(self._activations)
 
+    def mailbox_backlog(self) -> int:
+        """Messages queued (not yet dequeued) across all activations.
+
+        A pull-style gauge for the metrics registry: evaluated only when a
+        snapshot is taken, so it costs nothing during normal execution.
+        """
+        return sum(
+            len(activation.mailbox) for activation in self._activations.values()
+        )
+
     def idle_candidates(self, idle_timeout: float) -> list["Activation"]:
         """Activations unused for ``idle_timeout`` seconds and not busy."""
         now = self.scheduler.now

@@ -52,21 +52,33 @@ class Aggregator(Actor):
     def __init__(self, context):
         super().__init__(context)
         self.buckets = BucketedAggregates(LEVEL_SECONDS["hour"])
+        # Contributions not yet forwarded downstream.  Welford summaries
+        # cannot be *subtracted*, so "what did I already send?" is tracked
+        # by accumulating un-forwarded deltas separately; forwarding pops
+        # from here, which makes flush-then-close send each reading exactly
+        # once instead of re-sending the whole bucket.
+        self._pending = BucketedAggregates(LEVEL_SECONDS["hour"])
         self._last_open_bucket: int | None = None
 
     async def on_activate(self):
         level = self.state.get("level", "hour")
-        self.buckets = BucketedAggregates(
-            self.state.get("bucket_seconds", LEVEL_SECONDS[level])
-        )
+        bucket_seconds = self.state.get("bucket_seconds", LEVEL_SECONDS[level])
+        self.buckets = BucketedAggregates(bucket_seconds)
         for bucket_str, payload in self.state.get("buckets", {}).items():
             self.buckets.merge_bucket(int(bucket_str), _stats_from_dict(payload))
+        self._pending = BucketedAggregates(bucket_seconds)
+        for bucket_str, payload in self.state.get("pending_buckets", {}).items():
+            self._pending.merge_bucket(int(bucket_str), _stats_from_dict(payload))
         self._last_open_bucket = self.state.get("last_open_bucket")
 
     async def on_deactivate(self):
         self.state["buckets"] = {
             str(bucket): _stats_to_dict(self.buckets.stats_for(bucket))
             for bucket in self.buckets.buckets()
+        }
+        self.state["pending_buckets"] = {
+            str(bucket): _stats_to_dict(self._pending.stats_for(bucket))
+            for bucket in self._pending.buckets()
         }
         self.state["last_open_bucket"] = self._last_open_bucket
         self.mark_dirty()
@@ -87,18 +99,27 @@ class Aggregator(Actor):
         self.state["downstream_id"] = downstream_id
         self.mark_dirty()
         self.buckets = BucketedAggregates(self.state["bucket_seconds"])
+        self._pending = BucketedAggregates(self.state["bucket_seconds"])
         self._last_open_bucket = None
         return {"aggregator_id": self.actor_id, "level": level}
+
+    @property
+    def _downstream_id(self) -> str | None:
+        return self.state.get("downstream_id")
 
     async def ingest(self, points: list[tuple[float, float]]) -> int:
         """Fold a batch of raw readings into the current buckets.
 
-        When the open bucket advances, the closed bucket's summary is
-        forwarded to the downstream aggregator (hour → day), giving the
-        multi-level parallelism the paper's model calls for.
+        When the open bucket advances, the closed bucket's un-forwarded
+        contributions are sent to the downstream aggregator (hour → day),
+        giving the multi-level parallelism the paper's model calls for.
         """
+        track = self._downstream_id is not None
         for timestamp, value in points:
-            bucket = self.buckets.observe(DataPoint(timestamp, value))
+            point = DataPoint(timestamp, value)
+            bucket = self.buckets.observe(point)
+            if track:
+                self._pending.observe(point)
             if self._last_open_bucket is None:
                 self._last_open_bucket = bucket
             elif bucket > self._last_open_bucket:
@@ -107,11 +128,14 @@ class Aggregator(Actor):
         return len(points)
 
     def _forward_closed(self, bucket: int) -> None:
-        downstream_id = self.state.get("downstream_id")
+        """Send a bucket's not-yet-forwarded delta downstream (once)."""
+        downstream_id = self._downstream_id
         if not downstream_id:
             return
-        stats = self.buckets.stats_for(bucket)
-        if stats is None:
+        stats = self._pending.pop_bucket(bucket)
+        if stats is None or stats.count == 0:
+            # Everything in this bucket was already forwarded (an earlier
+            # flush), or the bucket only ever existed downstream-free.
             return
         bucket_start = bucket * self.state["bucket_seconds"]
         self.context.actor("Aggregator", downstream_id).tell(
@@ -121,14 +145,26 @@ class Aggregator(Actor):
     async def merge_summary(self, bucket_start: float, payload: dict) -> None:
         """Receive a closed lower-level bucket and fold it into ours."""
         bucket = self.buckets.bucket_of(bucket_start)
-        self.buckets.merge_bucket(bucket, _stats_from_dict(payload))
+        stats = _stats_from_dict(payload)
+        self.buckets.merge_bucket(bucket, stats)
+        if self._downstream_id is not None:
+            # Multi-level chains: what arrives from below is itself a delta
+            # this level has not forwarded yet.
+            self._pending.merge_bucket(bucket, stats)
 
     async def flush(self) -> bool:
-        """Force-forward the open bucket (end of run / on demand)."""
-        if self._last_open_bucket is not None:
-            self._forward_closed(self._last_open_bucket)
-            return True
-        return False
+        """Forward every pending (un-forwarded) contribution downstream.
+
+        Safe to call repeatedly and mid-bucket: only deltas accumulated
+        since the previous forward are sent, so a flush followed by the
+        bucket closing (or another flush) never double-counts.
+        """
+        forwarded = False
+        for bucket in self._pending.buckets():
+            if self._pending.stats_for(bucket).count > 0:
+                self._forward_closed(bucket)
+                forwarded = True
+        return forwarded
 
     # -- queries ------------------------------------------------------------------
 

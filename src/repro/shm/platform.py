@@ -219,14 +219,25 @@ class ShmPlatform:
     # -- request entry points (the benchmark's three request types) -------------
 
     async def ingest(
-        self, sensor_id: str, batches: dict[str, list[tuple[float, float]]]
+        self,
+        sensor_id: str,
+        batches: dict[str, list[tuple[float, float]]],
+        trace=None,
     ) -> int:
-        """Data-insertion request: one sensor's batch for each channel."""
-        return await self.runtime.ref("Sensor", sensor_id).ingest(batches)
+        """Data-insertion request: one sensor's batch for each channel.
 
-    async def live_data(self, org_id: str, user_id: str | None = None) -> dict:
+        ``trace`` optionally parents the dispatch under an existing span
+        (the ingest gateway passes its per-envelope span here).
+        """
+        return await self.runtime.ref("Sensor", sensor_id, trace=trace).ingest(
+            batches
+        )
+
+    async def live_data(
+        self, org_id: str, user_id: str | None = None, trace=None
+    ) -> dict:
         """Live-data request: latest value of every channel of a tenant."""
-        return await self.runtime.ref("Organization", org_id).live_data(
+        return await self.runtime.ref("Organization", org_id, trace=trace).live_data(
             user_id=user_id
         )
 
@@ -236,10 +247,13 @@ class ShmPlatform:
         start: float,
         end: float,
         virtual: bool = False,
+        trace=None,
     ) -> list[tuple[float, float]]:
         """Raw-data request: a time range from one sensor channel actor."""
         type_name = "VirtualSensorChannel" if virtual else "PhysicalSensorChannel"
-        return await self.runtime.ref(type_name, channel_id).query_range(start, end)
+        return await self.runtime.ref(type_name, channel_id, trace=trace).query_range(
+            start, end
+        )
 
     # -- additional online services ------------------------------------------------
 

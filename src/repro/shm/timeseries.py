@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import bisect
 import math
-from collections import deque
 from dataclasses import dataclass
 
 from .model import DataPoint
@@ -23,30 +22,50 @@ class DataWindow:
     Appends must be in non-decreasing timestamp order (streams are ordered
     at the source).  When capacity is exceeded, the oldest points are
     evicted and returned so callers can archive them.
+
+    Internally the window keeps a parallel, always-sorted timestamp list,
+    so :meth:`range` really is a binary search — O(log n + k) for k results
+    — instead of rebuilding the timestamp list per query (the old O(n)
+    behaviour, which made the paper's raw-data requests scale with window
+    capacity rather than answer size).  Evictions advance a head offset and
+    compact lazily, keeping appends amortized O(1).
     """
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ValueError("window capacity must be >= 1")
         self.capacity = capacity
-        self._points: deque[DataPoint] = deque()
+        self._points: list[DataPoint] = []
+        self._stamps: list[float] = []
+        self._head = 0  # live data is _points[_head:]
         self.total_appended = 0
 
     def __len__(self) -> int:
-        return len(self._points)
+        return len(self._points) - self._head
+
+    def _compact(self) -> None:
+        # Amortized O(1): shed the dead prefix once it outgrows the live
+        # part, so each element is moved at most O(1) times on average.
+        if self._head > self.capacity and self._head > len(self._points) // 2:
+            del self._points[: self._head]
+            del self._stamps[: self._head]
+            self._head = 0
 
     def append(self, point: DataPoint) -> list[DataPoint]:
         """Add one point; returns any evicted (oldest) points."""
-        if self._points and point.timestamp < self._points[-1].timestamp:
+        if self._stamps and point.timestamp < self._stamps[-1]:
             raise ValueError(
                 f"out-of-order point: {point.timestamp} after "
-                f"{self._points[-1].timestamp}"
+                f"{self._stamps[-1]}"
             )
         self._points.append(point)
+        self._stamps.append(point.timestamp)
         self.total_appended += 1
         evicted = []
-        while len(self._points) > self.capacity:
-            evicted.append(self._points.popleft())
+        while len(self._points) - self._head > self.capacity:
+            evicted.append(self._points[self._head])
+            self._head += 1
+        self._compact()
         return evicted
 
     def extend(self, points: list[DataPoint]) -> list[DataPoint]:
@@ -58,24 +77,23 @@ class DataWindow:
 
     def latest(self) -> DataPoint | None:
         """The most recent point, or None when empty."""
-        return self._points[-1] if self._points else None
+        return self._points[-1] if len(self) else None
 
     def range(self, start: float, end: float) -> list[DataPoint]:
         """Points with start <= timestamp < end (binary searched)."""
-        timestamps = [p.timestamp for p in self._points]
-        lo = bisect.bisect_left(timestamps, start)
-        hi = bisect.bisect_left(timestamps, end)
-        return list(self._points)[lo:hi]
+        lo = bisect.bisect_left(self._stamps, start, self._head)
+        hi = bisect.bisect_left(self._stamps, end, lo)
+        return self._points[lo:hi]
 
     def tail(self, count: int) -> list[DataPoint]:
         """The most recent ``count`` points."""
         if count <= 0:
             return []
-        return list(self._points)[-count:]
+        return self._points[max(self._head, len(self._points) - count):]
 
     def all_points(self) -> list[DataPoint]:
         """Every buffered point (oldest first)."""
-        return list(self._points)
+        return self._points[self._head:]
 
 
 class AccumulatedChange:
@@ -220,6 +238,10 @@ class BucketedAggregates:
     def stats_for(self, bucket: int) -> AggregateStats | None:
         """The stats of one bucket, or None."""
         return self._buckets.get(bucket)
+
+    def pop_bucket(self, bucket: int) -> AggregateStats | None:
+        """Remove and return one bucket's stats (None when absent)."""
+        return self._buckets.pop(bucket, None)
 
     def buckets(self) -> list[int]:
         """All populated bucket indexes, sorted."""

@@ -54,12 +54,26 @@ class ProvisionedKVStore(KeyValueStore):
         self.on_overload = on_overload
         self.throttled_reads = 0
         self.throttled_writes = 0
+        # Capacity-unit consumption and stall totals, for the metrics layer
+        # (the paper's operational cost conversation is in these numbers).
+        self.rcu_consumed = 0.0
+        self.wcu_consumed = 0.0
+        self.throttle_stall_seconds = 0.0
 
     # -- helpers ---------------------------------------------------------------
 
     async def _charge(self, bucket: TokenBucket, units: float, kind: str) -> None:
         if self.on_overload == "delay":
+            started = self._scheduler.now
             await bucket.consume(units)
+            stalled = self._scheduler.now - started
+            if stalled > 0:
+                self.throttle_stall_seconds += stalled
+                if kind == "read":
+                    self.throttled_reads += 1
+                else:
+                    self.throttled_writes += 1
+            self._record_units(kind, units)
             return
         wait = bucket.try_consume(units)
         if wait > 0:
@@ -72,6 +86,13 @@ class ProvisionedKVStore(KeyValueStore):
                 f"(need {units:.2f} units, retry in {wait:.3f}s)",
                 retry_after=wait,
             )
+        self._record_units(kind, units)
+
+    def _record_units(self, kind: str, units: float) -> None:
+        if kind == "read":
+            self.rcu_consumed += units
+        else:
+            self.wcu_consumed += units
 
     async def _network_round_trip(self) -> None:
         delay = self._latency.sample(self._rng)
@@ -114,6 +135,33 @@ class ProvisionedKVStore(KeyValueStore):
         return rows
 
     # -- introspection -----------------------------------------------------------
+
+    def register_metrics(self, registry: "object", **labels: str) -> None:
+        """Export capacity counters as pull-probes on ``registry``.
+
+        Loosely typed to keep the storage layer free of an
+        :mod:`repro.obs` import; ``labels`` distinguishes multiple stores
+        (e.g. ``store="grain"``).
+        """
+        registry.register_probe(
+            "storage.rcu_consumed", lambda: self.rcu_consumed, **labels
+        )
+        registry.register_probe(
+            "storage.wcu_consumed", lambda: self.wcu_consumed, **labels
+        )
+        registry.register_probe(
+            "storage.throttled_reads", lambda: self.throttled_reads, **labels
+        )
+        registry.register_probe(
+            "storage.throttled_writes", lambda: self.throttled_writes, **labels
+        )
+        registry.register_probe(
+            "storage.throttle_stall_seconds",
+            lambda: self.throttle_stall_seconds,
+            **labels,
+        )
+        registry.register_probe("storage.reads", lambda: self.reads, **labels)
+        registry.register_probe("storage.writes", lambda: self.writes, **labels)
 
     @property
     def reads(self) -> int:

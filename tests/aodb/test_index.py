@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.aodb import IndexRegistry
+from repro.aodb import MISSING, IndexRegistry
 from repro.errors import IndexError_
 from repro.runtime import Actor, ActorKey
 
@@ -54,6 +54,38 @@ def test_insert_move_and_remove():
     assert registry.lookup("Cow", "owner_id", "f2") == ["c1"]
     registry.update(key, "owner_id", "f2", None)
     assert registry.lookup("Cow", "owner_id", "f2") == []
+
+
+def test_none_is_an_ordinary_indexable_value():
+    """None round-trips through the index like any other value (regression:
+    None used to be the "no value" sentinel and silently vanished)."""
+    registry = IndexRegistry()
+    registry.declare("Cow", "owner_id")
+    key = ActorKey("Cow", "c1")
+    registry.update(key, "owner_id", MISSING, None)
+    assert registry.lookup("Cow", "owner_id", None) == ["c1"]
+    # None -> value -> None keeps lookups consistent.
+    registry.update(key, "owner_id", None, "f1")
+    assert registry.lookup("Cow", "owner_id", None) == []
+    assert registry.lookup("Cow", "owner_id", "f1") == ["c1"]
+    registry.update(key, "owner_id", "f1", None)
+    assert registry.lookup("Cow", "owner_id", "f1") == []
+    assert registry.lookup("Cow", "owner_id", None) == ["c1"]
+
+
+def test_missing_sentinel_insert_and_remove():
+    registry = IndexRegistry()
+    registry.declare("Cow", "owner_id")
+    key = ActorKey("Cow", "c1")
+    # MISSING in the old position inserts without touching any bucket.
+    registry.update(key, "owner_id", MISSING, "f1")
+    assert registry.lookup("Cow", "owner_id", "f1") == ["c1"]
+    # MISSING in the new position removes without inserting anywhere.
+    registry.update(key, "owner_id", "f1", MISSING)
+    assert registry.lookup("Cow", "owner_id", "f1") == []
+    # Legacy callers passing None as "no previous value" still work.
+    registry.update(key, "owner_id", None, "f2")
+    assert registry.lookup("Cow", "owner_id", "f2") == ["c1"]
 
 
 def test_unhashable_value_rejected():
@@ -125,6 +157,25 @@ def test_set_indexed_maintains_index_eagerly(sched, db):
     first, second = sched.run_until_complete(main())
     assert first == ["c1", "c2"]
     assert second == ["c1"]
+
+
+def test_set_indexed_none_round_trips(sched, db):
+    """An attribute explicitly set to None is findable under None."""
+    db.register_actor(Cow)
+
+    async def main():
+        await db.ref("Cow", "c1").assign(None)
+        under_none = db.indexes.lookup("Cow", "owner_id", None)
+        await db.ref("Cow", "c1").assign("farmer-1")
+        after_assign = db.indexes.lookup("Cow", "owner_id", None)
+        await db.ref("Cow", "c1").assign(None)
+        back_to_none = db.indexes.lookup("Cow", "owner_id", None)
+        return under_none, after_assign, back_to_none
+
+    under_none, after_assign, back_to_none = sched.run_until_complete(main())
+    assert under_none == ["c1"]
+    assert after_assign == []
+    assert back_to_none == ["c1"]
 
 
 def test_set_indexed_requires_declaration(sched, db):

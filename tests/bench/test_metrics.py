@@ -116,3 +116,41 @@ def test_records_filter():
     recorder = fill_recorder()
     assert len(recorder.records("raw")) == 10
     assert len(recorder.records()) == 1010
+
+
+# -- edge cases ----------------------------------------------------------------
+
+
+def test_trim_consuming_all_windows_yields_empty_and_none():
+    recorder = fill_recorder()
+    # 10 windows, trim=5 from each side: nothing survives.
+    assert recorder.window_stats("insert", 1.0, 0.0, 10.0, trim=5) == []
+    assert recorder.summarize("insert", 1.0, 0.0, 10.0, trim=5) is None
+
+
+def test_record_straddling_a_window_boundary_lands_once():
+    recorder = LatencyRecorder()
+    # Completion exactly on the boundary belongs to the *next* window
+    # (floor division), and to exactly one window — never both.
+    recorder.record("insert", 0.5, 0.5)  # completes at exactly 1.0
+    stats = recorder.window_stats("insert", 1.0, 0.0, 3.0, trim=0)
+    assert [w.count for w in stats] == [0, 1, 0]
+
+
+def test_completion_at_range_end_is_excluded():
+    recorder = LatencyRecorder()
+    recorder.record("insert", 1.5, 0.5)  # completes at exactly end=2.0
+    stats = recorder.window_stats("insert", 1.0, 0.0, 2.0, trim=0)
+    assert [w.count for w in stats] == [0, 0]
+
+
+def test_summary_for_empty_kind_is_none_even_with_other_traffic():
+    recorder = fill_recorder()  # has 'insert' and 'raw', never 'live'
+    assert recorder.summarize("live", 1.0, 0.0, 10.0) is None
+
+
+def test_summary_when_only_trimmed_windows_had_records():
+    recorder = LatencyRecorder()
+    recorder.record("insert", 0.1, 0.01)  # first window (trimmed)
+    recorder.record("insert", 9.1, 0.01)  # last window (trimmed)
+    assert recorder.summarize("insert", 1.0, 0.0, 10.0) is None

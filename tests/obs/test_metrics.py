@@ -1,0 +1,125 @@
+"""Unit tests for the metrics registry: instruments, probes, snapshots."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metric,
+)
+
+
+def test_format_metric_sorts_labels():
+    assert format_metric("net.drops", {}) == "net.drops"
+    assert (
+        format_metric("net.drops", {"silo": "s1", "az": "a"})
+        == "net.drops{az=a,silo=s1}"
+    )
+
+
+def test_counter_and_gauge_are_get_or_create():
+    registry = MetricsRegistry()
+    c1 = registry.counter("runtime.asks", silo="s1")
+    c1.inc()
+    c1.inc(2.5)
+    assert registry.counter("runtime.asks", silo="s1") is c1
+    assert c1.value == 3.5
+    # Different labels are a different instrument.
+    assert registry.counter("runtime.asks", silo="s2") is not c1
+    g = registry.gauge("mailbox.depth", silo="s1")
+    g.set(7.0)
+    g.add(-2.0)
+    assert registry.gauge("mailbox.depth", silo="s1").value == 5.0
+
+
+def test_histogram_buckets_and_quantiles():
+    registry = MetricsRegistry()
+    h = registry.histogram("lat", boundaries=(0.01, 0.1, 1.0))
+    assert registry.histogram("lat") is h  # boundaries only matter at creation
+    for value in (0.005, 0.05, 0.05, 0.5, 2.0):
+        h.observe(value)
+    assert h.count == 5
+    assert h.bucket_counts == [1, 2, 1, 1]  # last is the overflow bucket
+    assert h.mean == pytest.approx(0.521)
+    assert h.minimum == 0.005
+    assert h.maximum == 2.0
+    assert h.quantile(0.5) == 0.1  # upper edge of the bucket holding rank
+    assert h.quantile(1.0) == 2.0  # overflow reports the true max
+    summary = h.summary()
+    assert summary["count"] == 5
+    assert summary["max"] == 2.0
+
+
+def test_histogram_empty_and_invalid():
+    h = Histogram("lat", {}, boundaries=(1.0,))
+    assert h.mean == 0.0
+    assert h.quantile(0.99) == 0.0
+    assert h.summary()["min"] == 0.0  # not inf in the serialized view
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+    with pytest.raises(ValueError):
+        Histogram("bad", {}, boundaries=())
+
+
+def test_probes_evaluated_only_at_snapshot():
+    registry = MetricsRegistry()
+    calls = []
+
+    def probe():
+        calls.append(1)
+        return 42.0
+
+    registry.register_probe("kernel.pending", probe, silo="s1")
+    assert calls == []  # registration is free
+    snapshot = registry.snapshot()
+    assert snapshot["kernel.pending{silo=s1}"] == 42.0
+    assert len(calls) == 1
+
+
+def test_dead_probe_reports_nan_not_raise():
+    registry = MetricsRegistry()
+    registry.register_probe("gone", lambda: 1 / 0)
+    assert math.isnan(registry.snapshot()["gone"])
+    # ...and the nan probe is skipped by totals rather than poisoning them.
+    registry.counter("alive").inc(3.0)
+    assert registry.cluster_totals() == {"alive": 3.0}
+
+
+def test_unregister_probes_by_label():
+    registry = MetricsRegistry()
+    registry.register_probe("depth", lambda: 1.0, silo="s1")
+    registry.register_probe("depth", lambda: 2.0, silo="s2")
+    registry.register_probe("other", lambda: 3.0, silo="s1", az="a")
+    assert registry.unregister_probes(silo="s1") == 2
+    assert set(registry.snapshot()) == {"depth{silo=s2}"}
+
+
+def test_snapshot_selector_filters_by_labels():
+    registry = MetricsRegistry()
+    registry.counter("asks", silo="s1").inc(1)
+    registry.counter("asks", silo="s2").inc(10)
+    registry.gauge("depth", silo="s1").set(4.0)
+    per_silo = registry.snapshot(silo="s1")
+    assert per_silo == {"asks{silo=s1}": 1.0, "depth{silo=s1}": 4.0}
+
+
+def test_cluster_totals_sum_across_silos_and_skip_histograms():
+    registry = MetricsRegistry()
+    registry.counter("asks", silo="s1").inc(1)
+    registry.counter("asks", silo="s2").inc(10)
+    registry.histogram("lat", silo="s1").observe(0.5)
+    registry.register_probe("depth", lambda: 2.5, silo="s1")
+    registry.register_probe("depth", lambda: 1.5, silo="s2")
+    totals = registry.cluster_totals()
+    assert totals["asks"] == 11.0
+    assert totals["depth"] == 4.0
+    assert "lat" not in totals
+
+
+def test_instruments_repr_do_not_crash():
+    assert "Counter" in repr(Counter("a", {}))
+    assert "Gauge" in repr(Gauge("b", {"x": "y"}))

@@ -53,6 +53,34 @@ def test_aggregate_merge_is_equivalent_to_concatenation(left, right):
         )
 
 
+def _stats_of(values):
+    stats = AggregateStats()
+    for value in values:
+        stats.observe(value)
+    return stats
+
+
+@given(
+    a=st.lists(finite_floats, min_size=0, max_size=60),
+    b=st.lists(finite_floats, min_size=0, max_size=60),
+    c=st.lists(finite_floats, min_size=0, max_size=60),
+)
+@settings(max_examples=25, deadline=None)
+def test_aggregate_merge_is_associative(a, b, c):
+    # (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): merge mutates the receiver, so each
+    # grouping gets its own fresh partial aggregates.
+    left = _stats_of(a).merge(_stats_of(b)).merge(_stats_of(c))
+    right = _stats_of(a).merge(_stats_of(b).merge(_stats_of(c)))
+    assert left.count == right.count
+    if left.count:
+        assert left.minimum == right.minimum
+        assert left.maximum == right.maximum
+        assert math.isclose(left.mean, right.mean, rel_tol=1e-9, abs_tol=1e-6)
+        assert math.isclose(
+            left.variance, right.variance, rel_tol=1e-6, abs_tol=1e-5
+        )
+
+
 @given(values=st.lists(finite_floats, min_size=1, max_size=100))
 @settings(max_examples=15, deadline=None)
 def test_accumulated_change_invariants(values):

@@ -97,6 +97,52 @@ def test_aggregator_flush_forces_open_bucket(sched, platform):
     assert day_series[0][1]["count"] == 1
 
 
+def test_aggregator_flush_then_close_does_not_double_forward(sched, platform):
+    """Regression: a mid-bucket flush used to re-send the whole bucket when
+    it later closed (and every repeated flush re-sent it again), so the
+    day level double-counted everything forwarded early."""
+
+    async def main():
+        await platform.provision(total_sensors=1)
+        sensor_id = sensor_id_for("org-0", 0)
+        c0 = channel_id_for(sensor_id, 0)
+        hour = platform.runtime.ref("Aggregator", aggregator_id_for(c0, "hour"))
+        # Four readings land in hour bucket 0, then a mid-bucket flush...
+        await platform.ingest(
+            sensor_id, {c0: [(10.0 + i, 1.0) for i in range(4)]}
+        )
+        await sched.sleep(1)
+        await hour.flush()
+        # ...three more readings in the *same* bucket, then the bucket
+        # closes when a reading lands in hour 1.
+        await platform.ingest(
+            sensor_id, {c0: [(100.0 + i, 2.0) for i in range(3)]}
+        )
+        await platform.ingest(sensor_id, {c0: [(3605.0, 9.0)]})
+        await sched.sleep(1)
+        # Repeated flushes: the first forwards the open hour-1 point, the
+        # second has nothing left to send.
+        first = await hour.flush()
+        second = await hour.flush()
+        await sched.sleep(1)
+        hour_series = await platform.aggregates(c0, "hour", 0.0, 86400.0)
+        day_series = await platform.aggregates(c0, "day", 0.0, 86400.0)
+        return first, second, hour_series, day_series
+
+    first, second, hour_series, day_series = sched.run_until_complete(main())
+    assert first is True
+    assert second is False
+    hour_count = sum(entry["count"] for _bucket, entry in hour_series)
+    day_count = sum(entry["count"] for _bucket, entry in day_series)
+    assert hour_count == 8
+    # Day-level totals match the raw counts exactly across the flush:
+    # 4 flushed + 3 forwarded at close + 1 flushed from the next hour.
+    assert day_count == 8
+    # And the day mean is the true mean of all eight readings.
+    day_mean = day_series[0][1]["mean"]
+    assert day_mean == pytest.approx((4 * 1.0 + 3 * 2.0 + 9.0) / 8)
+
+
 def test_aggregator_state_survives_deactivation(sched, platform):
     async def main():
         await platform.provision(total_sensors=1)

@@ -60,6 +60,46 @@ def test_window_latest_empty():
     assert DataWindow().latest() is None
 
 
+def test_window_range_correct_across_heavy_eviction():
+    """Range queries stay correct while the head offset advances and the
+    lazy compaction fires (regression for the O(n) rebuild-per-query fix)."""
+    window = DataWindow(capacity=8)
+    for i in range(100):
+        window.append(DataPoint(float(i), i * 1.0))
+        lo = max(0, i - 7)  # oldest surviving timestamp
+        got = [p.timestamp for p in window.range(float(lo), float(i + 1))]
+        assert got == [float(t) for t in range(lo, i + 1)]
+    # Sub-ranges, boundaries, and misses after eviction.
+    assert [p.timestamp for p in window.range(95.0, 98.0)] == [95.0, 96.0, 97.0]
+    assert window.range(0.0, 92.0) == []
+    assert [p.value for p in window.tail(3)] == [97.0, 98.0, 99.0]
+    assert len(window.all_points()) == 8
+    assert window.latest().timestamp == 99.0
+
+
+def test_window_range_is_logarithmic_not_linear():
+    """The micro-bench data point: doubling the window size must not double
+    the cost of a small range query.  Measured in list touches via a tiny
+    result: the returned slice is the only O(k) part."""
+    import timeit
+
+    def cost(capacity):
+        window = DataWindow(capacity=capacity)
+        for i in range(capacity):
+            window.append(DataPoint(float(i), 0.0))
+        # Small fixed-size answer from a large window.
+        return min(
+            timeit.repeat(
+                lambda: window.range(10.0, 20.0), number=200, repeat=5
+            )
+        )
+
+    small, large = cost(1_000), cost(16_000)
+    # O(n) behaviour would make `large` ~16x `small`; binary search keeps
+    # the ratio near 1.  Allow generous slack for timer noise.
+    assert large < small * 4
+
+
 def test_window_capacity_validation():
     with pytest.raises(ValueError):
         DataWindow(capacity=0)
