@@ -35,20 +35,26 @@ from repro.bench.instances import M5_LARGE
 from repro.bench.workload import LoadConfig, build_deployment, execute, provision
 from repro.kernel import Scheduler
 from repro.net import ConstantLatency, Network
+from repro.obs.health import HealthMonitor, default_slo_rules
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profiler
 from repro.obs.trace import Tracer
 from repro.runtime import Actor, AodbRuntime, RuntimeConfig
+from repro.runtime.key import ActorKey
 
 SENSORS = 40
 DURATION = 2.0
 
 
-def run_workload(tracing: bool):
+def run_workload(tracing: bool = False, profiling: bool = False):
     """One calibrated insert run.
 
     Returns (load-phase CPU seconds, messages sent during the load phase,
     runtime).  Provisioning runs before the clock starts.
     """
-    deployment = build_deployment([M5_LARGE], seed=7, tracing=tracing)
+    deployment = build_deployment(
+        [M5_LARGE], seed=7, tracing=tracing, profiling=profiling
+    )
     deployment.scheduler.run_until_complete(provision(deployment, SENSORS))
     stats = deployment.runtime.stats
     before = stats.asks + stats.tells
@@ -117,6 +123,95 @@ def test_enabled_tracing_actually_records():
     assert runtime.tracer.dropped == 0
 
 
+# -- profiler + health overhead budget ----------------------------------------
+
+
+def profiler_turn_cost(iterations: int = 20_000, reps: int = 7) -> float:
+    """Best-case CPU seconds for one profiled turn.
+
+    Reproduces exactly what the activation pump adds per turn when the
+    profiler is on: two record fetches, call/queue accumulation, and the
+    kernel's service/wait attribution loop.
+    """
+    profiler = Profiler(enabled=True)
+    key = ActorKey("Sensor", "org-0/s-1")
+    best = float("inf")
+    for _ in range(reps):
+        profiler.clear()
+        started = time.process_time()
+        for _ in range(iterations):
+            profiler.turns += 1
+            mprof = profiler.method_record("Sensor", "ingest")
+            aprof = profiler.activation_record(key)
+            mprof.calls += 1
+            aprof.calls += 1
+            mprof.queue_wait += 0.001
+            aprof.queue_wait += 0.001
+            for record in (mprof, aprof):  # the CpuResource.consume hook
+                record.cpu_service += 0.002
+                record.cpu_wait += 0.0001
+        elapsed = time.process_time() - started
+        best = min(best, elapsed / iterations)
+    return best
+
+
+def health_eval_cost(reps: int = 200) -> float:
+    """Best-case CPU seconds for one health evaluation pass.
+
+    The registry is populated to a representative cluster size (a few
+    hundred instruments) so the snapshot the monitor takes is honest.
+    """
+    registry = MetricsRegistry()
+    for silo in range(8):
+        for name in ("runtime.asks", "ingest.accepted", "runtime.errors"):
+            registry.counter(name, silo=f"silo-{silo}").inc(100.0)
+        registry.register_probe(
+            "silo.mailbox_depth", lambda: 3.0, silo=f"silo-{silo}"
+        )
+    registry.histogram("runtime.ask_latency_seconds").observe(0.01)
+    monitor = HealthMonitor(registry, default_slo_rules())
+    monitor.evaluate(0.0)  # warm caches / first rate sample
+    best = float("inf")
+    for index in range(reps):
+        started = time.process_time()
+        monitor.evaluate(float(index + 1))
+        elapsed = time.process_time() - started
+        best = min(best, elapsed)
+    return best
+
+
+def test_enabled_profiling_and_health_overhead_under_five_percent():
+    """Profiler turns + amortized health evaluation cost < 5% per message.
+
+    Same stable-ratio methodology as the tracing budget: per-turn profiler
+    cost plus the per-message share of one health evaluation (the monitor
+    fires once per virtual second, amortized over that second's messages),
+    divided by the calibrated per-message workload cost.
+    """
+    turn_cost = profiler_turn_cost()
+    message_cost = per_message_cost()
+    _elapsed, messages, _runtime = run_workload()
+    messages_per_virtual_second = messages / DURATION
+    health_per_message = health_eval_cost() / messages_per_virtual_second
+    overhead = (turn_cost + health_per_message) / message_cost
+    assert overhead < 0.05, (
+        f"profiling+health overhead {overhead * 100:.2f}% "
+        f"(turn {turn_cost * 1e6:.2f}µs, health/msg "
+        f"{health_per_message * 1e6:.2f}µs, message {message_cost * 1e6:.2f}µs)"
+    )
+
+
+def test_enabled_profiling_actually_attributes():
+    """The cost being budgeted is real work: attribution covers the ledger."""
+    _elapsed, _messages, runtime = run_workload(profiling=True)
+    profiler = runtime.profiler
+    total = sum(silo.cpu.busy_seconds for silo in runtime.silos())
+    assert profiler.turns > 0
+    assert total > 0
+    coverage = profiler.coverage(total)
+    assert 0.95 <= coverage <= 1.0 + 1e-6, f"coverage {coverage:.4f}"
+
+
 # -- disabled-path allocation check (tight harness on purpose) ----------------
 
 
@@ -125,7 +220,7 @@ class PingActor(Actor):
         return 1
 
 
-def run_ping_round_trips(count: int = 2000):
+def build_ping_runtime():
     sched = Scheduler()
     config = RuntimeConfig(
         default_method_cost=0.0, activation_cost=0.0, copy_messages=False
@@ -138,13 +233,21 @@ def run_ping_round_trips(count: int = 2000):
     )
     runtime.add_silo("s1", cores=4)
     runtime.register_actor(PingActor)
+    return sched, runtime
 
+
+def drive_pings(sched, runtime, count: int = 2000):
     async def main():
         ref = runtime.ref("PingActor", "a")
         for _ in range(count):
             await ref.ping()
 
     sched.run_until_complete(main())
+
+
+def run_ping_round_trips(count: int = 2000):
+    sched, runtime = build_ping_runtime()
+    drive_pings(sched, runtime, count)
     return runtime
 
 
@@ -163,3 +266,30 @@ def test_disabled_tracing_allocates_nothing():
     assert sum(stat.count for stat in trace_allocs.statistics("filename")) == 0
     assert len(runtime.tracer) == 0
     assert runtime.tracer.dropped == 0
+
+
+def test_disabled_profiling_allocates_nothing():
+    """With the profiler off, the message loop allocates nothing in
+    obs/profile.py or obs/health.py.
+
+    The runtime is built *outside* the traced region (constructing it
+    legitimately allocates the disabled Profiler once); only steady-state
+    message traffic is measured.
+    """
+    sched, runtime = build_ping_runtime()
+    drive_pings(sched, runtime)  # warm allocator, code objects, activation
+    tracemalloc.start()
+    try:
+        drive_pings(sched, runtime)
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    allocs = snapshot.filter_traces(
+        [
+            tracemalloc.Filter(True, "*/obs/profile.py"),
+            tracemalloc.Filter(True, "*/obs/health.py"),
+        ]
+    )
+    assert sum(stat.count for stat in allocs.statistics("filename")) == 0
+    assert runtime.profiler.turns == 0
+    assert runtime.profiler.attributed_cpu() == 0.0

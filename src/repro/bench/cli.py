@@ -7,6 +7,9 @@ Usage::
     python -m repro.bench fig7 --quick    # scaled-down sweep
     python -m repro.bench trace           # traced run: causal trees
     python -m repro.bench trace --smoke   # + invariant checks (CI gate)
+    python -m repro.bench profile         # profiled run: CPU attribution,
+                                          # health rules, telemetry actors
+    python -m repro.bench profile --smoke # + profiling-invariant checks
 """
 
 from __future__ import annotations
@@ -53,8 +56,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(RUNNERS) + ["all", "trace"],
-        help="which figure/ablation to run (or a traced demonstration run)",
+        choices=sorted(RUNNERS) + ["all", "trace", "profile"],
+        help="which figure/ablation to run (or a traced/profiled demo run)",
     )
     parser.add_argument(
         "--quick",
@@ -64,13 +67,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="trace only: tiny scenario plus tracing-invariant checks",
+        help="trace/profile only: tiny scenario plus invariant checks",
     )
     args = parser.parse_args(argv)
     if args.experiment == "trace":
         from .tracebench import run_trace_bench
 
         print(run_trace_bench(smoke=args.smoke))
+        return 0
+    if args.experiment == "profile":
+        from .profilebench import run_profile_bench
+
+        print(run_profile_bench(smoke=args.smoke))
         return 0
     names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
     for name in names:

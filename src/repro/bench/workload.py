@@ -20,6 +20,7 @@ from ..kernel.rng import RngRegistry
 from ..kernel.scheduler import Scheduler
 from ..net.latency import ConstantLatency
 from ..net.network import Network
+from ..obs.profile import Profiler
 from ..obs.trace import Tracer
 from ..runtime.key import ActorKey
 from ..runtime.runtime import AodbRuntime
@@ -94,13 +95,15 @@ def build_deployment(
     enable_aggregation: bool = False,
     scheduler: Scheduler | None = None,
     tracing: bool = False,
+    profiling: bool = False,
 ) -> Deployment:
     """Assemble runtime + database + SHM platform over simulated servers.
 
     ``tracing=True`` turns on the causal tracer (spans for every message);
-    it stays off for figure runs so measurements reflect the uninstrumented
-    hot path.  The metrics registry is always on — it is pull-based and
-    costs nothing until snapshotted.
+    ``profiling=True`` turns on the continuous per-actor profiler.  Both
+    stay off for figure runs so measurements reflect the uninstrumented hot
+    path.  The metrics registry is always on — it is pull-based and costs
+    nothing until snapshotted.
     """
     scheduler = scheduler or Scheduler()
     rng = RngRegistry(seed)
@@ -114,6 +117,7 @@ def build_deployment(
         network=network,
         rng=rng,
         tracer=Tracer(enabled=tracing),
+        profiler=Profiler(enabled=profiling),
     )
     for index, instance_type in enumerate(silos):
         runtime.add_silo(
@@ -155,9 +159,12 @@ async def provision(
         total_sensors, sensors_per_org=sensors_per_org
     )
     deployment.report = report
-    # Provisioning work must not pollute the measurement.
+    # Provisioning work must not pollute the measurement: reset both the
+    # kernel CPU ledger and the profiler's attribution so they stay in sync
+    # (coverage compares the two).
     for silo in deployment.runtime.silos():
         silo.cpu.reset_accounting()
+    deployment.runtime.profiler.clear()
     return report
 
 

@@ -40,13 +40,21 @@ class CpuResource:
         self.jobs_completed = 0
         self._opened_at = scheduler.now
 
-    def consume(self, cpu_seconds: float) -> Future[None]:
+    def consume(self, cpu_seconds: float, profile=None) -> Future[None]:
         """Occupy one core for ``cpu_seconds`` of work (scaled by speed).
 
         Returns a future resolving when the work completes; the caller
         experiences queueing delay automatically when all cores are busy.
         Zero-cost work completes at the current instant but still round-trips
         through the scheduler for deterministic ordering.
+
+        ``profile`` is the CPU-attribution hook for the continuous profiler:
+        an iterable of accounting records (objects with ``cpu_service`` and
+        ``cpu_wait`` attributes, e.g.
+        :class:`~repro.obs.profile.ProfileRecord`).  The resource is the only
+        place that knows exactly how the elapsed virtual time splits into
+        core-queueing wait versus service, so it attributes both here; with
+        the default ``None`` the hook costs nothing.
         """
         if cpu_seconds < 0:
             raise ValueError("cpu_seconds must be >= 0")
@@ -58,6 +66,11 @@ class CpuResource:
         heapq.heappush(self._core_free_at, finish)
         self.busy_seconds += service_time
         self.jobs_completed += 1
+        if profile is not None:
+            wait = start - now
+            for record in profile:
+                record.cpu_service += service_time
+                record.cpu_wait += wait
         return self._scheduler.at(finish)
 
     def queue_depth_seconds(self) -> float:

@@ -1,17 +1,28 @@
-"""repro.obs — the observability layer: causal tracing + metrics registry.
+"""repro.obs — the observability layer.
 
-Two substrates every other subsystem plugs into:
+Substrates every other subsystem plugs into:
 
 - :mod:`repro.obs.trace` — :class:`Tracer` / :class:`Span`: per-message
   causal spans in virtual time with a queue/CPU/network/storage breakdown,
   reconstructable into full caller→callee trees (:class:`TraceTree`);
 - :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: cheap counters,
   gauges, histograms and pull-style probes, snapshotable per silo and
-  cluster-wide.
+  cluster-wide, with a label-cardinality guard;
+- :mod:`repro.obs.profile` — :class:`Profiler`: continuous, exact
+  per-(actor class, method) and per-activation attribution of virtual CPU,
+  queue wait and storage time, with hot-actor and mailbox-backlog reports;
+- :mod:`repro.obs.health` — :class:`HealthMonitor`: declarative SLO rules
+  evaluated from metrics snapshots on a timer, with hysteresis alerts;
+- :mod:`repro.obs.telemetry` — self-hosted telemetry actors (imported
+  lazily: it builds on :mod:`repro.runtime`, which itself imports this
+  package — ``from repro.obs import telemetry`` or attribute access
+  resolves it on demand).
 
-``python -m repro.bench trace`` renders a traced scenario end to end.
+``python -m repro.bench trace`` renders a traced scenario end to end;
+``python -m repro.bench profile`` renders the profiler + health report.
 """
 
+from .health import Alert, HealthMonitor, SloRule, default_slo_rules
 from .metrics import (
     Counter,
     Gauge,
@@ -19,26 +30,60 @@ from .metrics import (
     MetricsRegistry,
     format_metric,
 )
+from .profile import (
+    ProfileRecord,
+    ProfileReport,
+    Profiler,
+    build_report,
+    mailbox_backlogs,
+)
 from .render import (
     format_span_line,
+    render_alerts,
     render_critical_path,
+    render_health,
     render_metrics,
+    render_profile,
     render_tree,
 )
 from .trace import Span, TraceTree, Tracer, span_summary
 
 __all__ = [
+    "Alert",
     "Counter",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
     "MetricsRegistry",
+    "ProfileRecord",
+    "ProfileReport",
+    "Profiler",
+    "SloRule",
     "Span",
     "TraceTree",
     "Tracer",
+    "build_report",
+    "default_slo_rules",
     "format_metric",
     "format_span_line",
+    "mailbox_backlogs",
+    "render_alerts",
     "render_critical_path",
+    "render_health",
     "render_metrics",
+    "render_profile",
     "render_tree",
     "span_summary",
+    "telemetry",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy import: repro.obs.telemetry needs repro.runtime.actor, and the
+    # runtime imports repro.obs at load time — importing it eagerly here
+    # would make the cycle real.
+    if name == "telemetry":
+        from . import telemetry
+
+        return telemetry
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -117,19 +117,31 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, fraction: float) -> float:
-        """Approximate quantile from bucket boundaries (upper edge)."""
+        """Approximate quantile from bucket boundaries (upper edge).
+
+        The estimate is the upper edge of the *non-empty* bucket holding the
+        ranked observation, clamped into ``[minimum, maximum]`` so a sparse
+        histogram never reports an edge no observation ever reached.
+        ``fraction=0.0`` is the observed minimum, ``1.0`` the observed
+        maximum; an empty histogram reports 0.0 for any fraction.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be within [0, 1]")
         if self.count == 0:
             return 0.0
+        if fraction == 0.0:
+            return self.minimum
         rank = fraction * self.count
         seen = 0
         for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue  # an empty bucket cannot hold the ranked sample
             seen += bucket_count
             if seen >= rank:
-                if index < len(self.boundaries):
-                    return self.boundaries[index]
-                return self.maximum
+                if index >= len(self.boundaries):
+                    # Overflow bucket: no finite edge, report the true max.
+                    return self.maximum
+                return min(max(self.boundaries[index], self.minimum), self.maximum)
         return self.maximum  # pragma: no cover - defensive
 
     def summary(self) -> dict[str, float]:
@@ -150,30 +162,59 @@ class MetricsRegistry:
     Subsystems fetch instruments once (``registry.counter("net.drops")``)
     and keep the returned object; probes let state that already exists be
     exported without any hot-path cost.
+
+    **Label-cardinality guard**: a metric name admits at most
+    ``max_label_sets`` distinct label sets.  Beyond the cap, new label sets
+    collapse into one shared ``{overflow=true}`` instrument per name and
+    :attr:`dropped_label_sets` counts the collapses — so an unbounded label
+    (a per-activation id, say) degrades resolution instead of ballooning
+    snapshot cost and memory.  Unlabeled instruments are exempt.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_label_sets: int = 256) -> None:
+        self.max_label_sets = max_label_sets
+        self.dropped_label_sets = 0
         self._counters: dict[tuple, Counter] = {}
         self._gauges: dict[tuple, Gauge] = {}
         self._histograms: dict[tuple, Histogram] = {}
         self._probes: dict[tuple, Callable[[], float]] = {}
+        self._series_count: dict[str, int] = {}
 
     # -- instrument factories --------------------------------------------------
+
+    def _admit(self, name: str, labels: dict[str, str]) -> dict[str, str]:
+        """The label set to store a new instrument under (capped per name)."""
+        if not labels:
+            return labels
+        count = self._series_count.get(name, 0)
+        if count >= self.max_label_sets:
+            self.dropped_label_sets += 1
+            return {"overflow": "true"}
+        self._series_count[name] = count + 1
+        return labels
 
     def counter(self, name: str, **labels: str) -> Counter:
         key = (name, _label_key(labels))
         counter = self._counters.get(key)
         if counter is None:
-            counter = Counter(name, labels)
-            self._counters[key] = counter
+            labels = self._admit(name, labels)
+            key = (name, _label_key(labels))
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = Counter(name, labels)
+                self._counters[key] = counter
         return counter
 
     def gauge(self, name: str, **labels: str) -> Gauge:
         key = (name, _label_key(labels))
         gauge = self._gauges.get(key)
         if gauge is None:
-            gauge = Gauge(name, labels)
-            self._gauges[key] = gauge
+            labels = self._admit(name, labels)
+            key = (name, _label_key(labels))
+            gauge = self._gauges.get(key)
+            if gauge is None:
+                gauge = Gauge(name, labels)
+                self._gauges[key] = gauge
         return gauge
 
     def histogram(
@@ -185,8 +226,12 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         histogram = self._histograms.get(key)
         if histogram is None:
-            histogram = Histogram(name, labels, boundaries)
-            self._histograms[key] = histogram
+            labels = self._admit(name, labels)
+            key = (name, _label_key(labels))
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = Histogram(name, labels, boundaries)
+                self._histograms[key] = histogram
         return histogram
 
     def register_probe(

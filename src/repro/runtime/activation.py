@@ -121,11 +121,29 @@ class Activation:
             # A previous activation of this grain is still persisting its
             # state; wait so our state load observes its final flush.
             await self._predecessor_closed.wait()
+        # Activation work (CPU charge + state load) is attributed to the
+        # pseudo-method ``__activate__`` so profiler totals still sum to the
+        # kernel's busy ledger.
+        profiler = self.runtime.profiler
+        profile = None
+        if profiler.enabled:
+            mprof = profiler.method_record(self.key.type_name, "__activate__")
+            aprof = profiler.activation_record(self.key)
+            mprof.calls += 1
+            aprof.calls += 1
+            profile = (mprof, aprof)
         if self.runtime.config.activation_cost > 0:
-            await self.silo.cpu.consume(self.runtime.config.activation_cost)
+            await self.silo.cpu.consume(
+                self.runtime.config.activation_cost, profile=profile
+            )
         if self.actor_class.durable:
             cell = StateCell(self.key, self.runtime.grain_storage)
+            load_started = self.runtime.scheduler.now
             await cell.load()
+            if profile is not None:
+                elapsed = self.runtime.scheduler.now - load_started
+                for record in profile:
+                    record.storage_wait += elapsed
             self.instance._attach_state_cell(cell)
             if self.actor_class.write_policy is WritePolicy.INTERVAL:
                 self.register_timer(
@@ -206,6 +224,22 @@ class Activation:
             # timer sorts before this dequeue at equal timestamps); running
             # the method would only burn silo CPU on an abandoned request.
             return
+        # Continuous profiling: fetch this turn's two accumulation rows once
+        # (method-level and activation-level); every charge below adds plain
+        # floats into them.  Disabled costs one attribute read.
+        profiler = self.runtime.profiler
+        if profiler.enabled:
+            profiler.turns += 1
+            mprof = profiler.method_record(self.key.type_name, invocation.method)
+            aprof = profiler.activation_record(self.key)
+            mprof.calls += 1
+            aprof.calls += 1
+            mailbox_wait = invocation.started_at - invocation.enqueued_at
+            mprof.queue_wait += mailbox_wait
+            aprof.queue_wait += mailbox_wait
+            profile = (mprof, aprof)
+        else:
+            mprof = aprof = profile = None
         method = getattr(self.instance, invocation.method, None)
         options = {"cost": None, "read_only": False}
         error: BaseException | None = None
@@ -214,8 +248,12 @@ class Activation:
             try:
                 flush_started = self.runtime.scheduler.now
                 await self._flush_if_dirty()
+                flush_elapsed = self.runtime.scheduler.now - flush_started
                 if span is not None and span.end is None:
-                    span.storage += self.runtime.scheduler.now - flush_started
+                    span.storage += flush_elapsed
+                if mprof is not None:
+                    mprof.storage_wait += flush_elapsed
+                    aprof.storage_wait += flush_elapsed
                 self.runtime._reply(invocation, None, None, self.silo.silo_id)
             except Exception as exc:  # noqa: BLE001 - storage failure
                 # A timer-driven flush failed (e.g. storage throttling):
@@ -256,7 +294,7 @@ class Activation:
                 )
             if cost > 0:
                 cpu_started = self.runtime.scheduler.now
-                await self.silo.cpu.consume(cost)
+                await self.silo.cpu.consume(cost, profile=profile)
                 if span is not None and span.end is None:
                     # Core-queueing plus service: the silo-contention signal.
                     span.cpu += self.runtime.scheduler.now - cpu_started
@@ -286,13 +324,20 @@ class Activation:
             try:
                 flush_started = self.runtime.scheduler.now
                 await self._flush_if_dirty()
+                flush_elapsed = self.runtime.scheduler.now - flush_started
                 if span is not None and span.end is None:
-                    span.storage += self.runtime.scheduler.now - flush_started
+                    span.storage += flush_elapsed
+                if mprof is not None:
+                    mprof.storage_wait += flush_elapsed
+                    aprof.storage_wait += flush_elapsed
             except Exception as exc:  # noqa: BLE001 - surface to the caller
                 # Write-through means "durable when acknowledged": if the
                 # flush fails (storage throttling, conditional conflict),
                 # the caller must see the failure, not a false ack.
                 error = exc
+        if mprof is not None and error is not None:
+            mprof.errors += 1
+            aprof.errors += 1
         self.runtime._reply(invocation, result, error, self.silo.silo_id)
 
     async def _flush_if_dirty(self) -> None:

@@ -31,6 +31,7 @@ from ..kernel.rng import RngRegistry
 from ..kernel.scheduler import Scheduler, Task
 from ..net.network import Network
 from ..obs.metrics import MetricsRegistry
+from ..obs.profile import Profiler
 from ..obs.trace import Span, Tracer
 from ..storage.kv import InMemoryKVStore, KeyValueStore
 from ..storage.serde import snapshot
@@ -88,6 +89,7 @@ class AodbRuntime:
         rng: RngRegistry | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        profiler: Profiler | None = None,
     ) -> None:
         self.scheduler = scheduler or Scheduler()
         self.config = config or RuntimeConfig()
@@ -97,6 +99,7 @@ class AodbRuntime:
         # are falsy-adjacent objects we must not silently replace.
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profiler = profiler if profiler is not None else Profiler(enabled=False)
         self.network = network or Network(self.scheduler, rng=self.rng)
         self.system_store = system_store or SystemStore(self.scheduler)
         # Explicit None check: stores define __len__, so an empty store is
@@ -126,6 +129,10 @@ class AodbRuntime:
         if register is not None:
             register(self.metrics)
         self._register_runtime_metrics()
+        self.profiler.register_metrics(self.metrics)
+        # End-to-end ask latency feeds the p99 SLO rule; observed only on
+        # profiled runs so the unprofiled reply path stays untouched.
+        self._ask_latency = self.metrics.histogram("runtime.ask_latency_seconds")
 
     def _register_runtime_metrics(self) -> None:
         """Export kernel + runtime state as pull-probes (snapshot-time only)."""
@@ -154,6 +161,24 @@ class AodbRuntime:
             "trace.spans_recorded", lambda: len(self.tracer)
         )
         registry.register_probe("trace.spans_dropped", lambda: self.tracer.dropped)
+        registry.register_probe(
+            "metrics.dropped_label_sets", lambda: registry.dropped_label_sets
+        )
+        # Membership view, for the health monitor's heartbeat rules.
+        registry.register_probe(
+            "cluster.silos_active",
+            lambda: sum(
+                1 for s in self.system_store.active_silos() if s in self._silos
+            ),
+        )
+        registry.register_probe(
+            "cluster.silos_suspected",
+            lambda: sum(
+                1
+                for entry in self.system_store.members()
+                if self.system_store.status_of(entry.silo_id) == "suspected"
+            ),
+        )
 
     # -- registration ------------------------------------------------------------
 
@@ -707,6 +732,10 @@ class AodbRuntime:
                 payload = snapshot(result) if self.config.copy_messages else result
                 invocation.reply.set_result(payload)
             self.stats.replies += 1
+            if self.profiler.enabled:
+                self._ask_latency.observe(
+                    self.scheduler.now - invocation.sent_at
+                )
             self.tracer.finish(
                 span,
                 self.scheduler.now,

@@ -123,3 +123,109 @@ def test_cluster_totals_sum_across_silos_and_skip_histograms():
 def test_instruments_repr_do_not_crash():
     assert "Counter" in repr(Counter("a", {}))
     assert "Gauge" in repr(Gauge("b", {"x": "y"}))
+
+
+# -- quantile edge cases -------------------------------------------------------
+
+
+def test_quantile_fraction_zero_is_observed_minimum():
+    h = Histogram("lat", {}, boundaries=(0.1, 1.0))
+    h.observe(0.03)
+    h.observe(0.7)
+    assert h.quantile(0.0) == 0.03
+
+
+def test_quantile_fraction_one_is_observed_maximum():
+    h = Histogram("lat", {}, boundaries=(0.1, 1.0))
+    h.observe(0.03)
+    h.observe(0.7)
+    assert h.quantile(1.0) == 0.7
+
+
+def test_quantile_overflow_bucket_reports_true_max():
+    h = Histogram("lat", {}, boundaries=(0.1,))
+    h.observe(5.0)  # only sample, beyond the last finite edge
+    for fraction in (0.01, 0.5, 0.99, 1.0):
+        assert h.quantile(fraction) == 5.0
+
+
+def test_quantile_skips_empty_buckets():
+    # Samples land only in the last finite bucket; the empty lower buckets
+    # must not absorb the rank and report an edge nothing ever reached.
+    h = Histogram("lat", {}, boundaries=(0.001, 0.01, 0.1, 1.0))
+    for _ in range(10):
+        h.observe(0.5)
+    assert h.quantile(0.5) == 0.5  # edge 1.0 clamped to the observed max
+    assert h.quantile(0.01) == 0.5
+
+
+def test_quantile_clamps_edge_into_observed_range():
+    # One sample at the very bottom of a wide bucket: the bucket's upper
+    # edge (1.0) overstates it, so the estimate clamps to the maximum.
+    h = Histogram("lat", {}, boundaries=(0.1, 1.0))
+    h.observe(0.2)
+    assert h.quantile(0.5) == 0.2
+    # And a sparse histogram never reports below its minimum either.
+    h2 = Histogram("lat", {}, boundaries=(0.1, 1.0))
+    h2.observe(0.9)
+    h2.observe(0.95)
+    assert h2.quantile(0.25) >= h2.minimum
+
+
+def test_empty_histogram_quantile_is_zero_for_all_fractions():
+    h = Histogram("lat", {}, boundaries=(1.0,))
+    for fraction in (0.0, 0.5, 1.0):
+        assert h.quantile(fraction) == 0.0
+
+
+# -- label-cardinality guard ---------------------------------------------------
+
+
+def test_cardinality_guard_collapses_label_sets_beyond_cap():
+    registry = MetricsRegistry(max_label_sets=2)
+    registry.counter("asks", silo="s1").inc(1.0)
+    registry.counter("asks", silo="s2").inc(2.0)
+    overflow = registry.counter("asks", silo="s3")
+    overflow.inc(5.0)
+    assert overflow.labels == {"overflow": "true"}
+    assert registry.dropped_label_sets == 1
+    # Further over-cap label sets share the same overflow instrument.
+    assert registry.counter("asks", silo="s4") is overflow
+    assert registry.dropped_label_sets == 2
+    snapshot = registry.snapshot()
+    assert snapshot["asks{overflow=true}"] == 5.0
+    # Totals stay complete — resolution degrades, accounting does not.
+    assert registry.cluster_totals()["asks"] == 8.0
+
+
+def test_cardinality_guard_keeps_admitted_instruments_stable():
+    registry = MetricsRegistry(max_label_sets=1)
+    first = registry.counter("asks", silo="s1")
+    registry.counter("asks", silo="s2").inc()  # collapsed
+    assert registry.counter("asks", silo="s1") is first  # still direct
+
+
+def test_cardinality_guard_is_per_name():
+    registry = MetricsRegistry(max_label_sets=1)
+    registry.counter("asks", silo="s1")
+    registry.counter("tells", silo="s1")  # different name: own budget
+    assert registry.dropped_label_sets == 0
+
+
+def test_cardinality_guard_exempts_unlabeled_instruments():
+    registry = MetricsRegistry(max_label_sets=0)
+    counter = registry.counter("asks")
+    counter.inc(3.0)
+    assert counter.labels == {}
+    assert registry.dropped_label_sets == 0
+
+
+def test_cardinality_guard_applies_to_gauges_and_histograms():
+    registry = MetricsRegistry(max_label_sets=1)
+    registry.gauge("depth", silo="s1").set(1.0)
+    overflow_gauge = registry.gauge("depth", silo="s2")
+    assert overflow_gauge.labels == {"overflow": "true"}
+    registry.histogram("lat", silo="s1").observe(0.1)
+    overflow_histogram = registry.histogram("lat", silo="s2")
+    assert overflow_histogram.labels == {"overflow": "true"}
+    assert registry.dropped_label_sets == 2

@@ -1,0 +1,129 @@
+"""Rendering tests: tree truncation trailer, profile/health/alert text."""
+
+from repro.obs.health import Alert, HealthMonitor, SloRule
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ProfileRecord, ProfileReport
+from repro.obs.render import (
+    render_alerts,
+    render_health,
+    render_profile,
+    render_tree,
+)
+from repro.obs.trace import TraceTree, Tracer
+
+
+def build_chain_tree(depth: int) -> TraceTree:
+    """A root with ``depth`` descendants in a straight caller→callee chain."""
+    tracer = Tracer(enabled=True, max_spans=depth + 10)
+    root = tracer.begin("root", "client", "client", 0.0)
+    parent = root
+    for index in range(depth):
+        span = tracer.begin(f"step-{index}", "ask", "silo-0", float(index))
+        span.parent_id = parent.span_id
+        span.trace_id = root.trace_id
+        tracer.finish(span, float(index) + 0.5)
+        parent = span
+    tracer.finish(root, float(depth))
+    return TraceTree.build(tracer.spans(), root=root)
+
+
+def test_render_tree_truncates_deep_trees_with_explicit_trailer():
+    tree = build_chain_tree(depth=30)
+    text = render_tree(tree, max_lines=10)
+    lines = text.splitlines()
+    # Header + 10 span lines + the explicit truncation trailer.
+    assert len(lines) == 12
+    assert lines[-1] == "  … 21 more spans"  # 31 spans total, 10 shown
+    assert "(31 spans" in lines[0]
+
+
+def test_render_tree_complete_when_under_the_limit():
+    tree = build_chain_tree(depth=3)
+    text = render_tree(tree, max_lines=200)
+    assert "more spans" not in text
+    assert len(text.splitlines()) == 5  # header + root + 3 steps
+
+
+def make_report(**overrides) -> ProfileReport:
+    hot = ProfileRecord("Sensor.ingest")
+    hot.calls = 10
+    hot.cpu_service = 0.008
+    hot.queue_wait = 0.001
+    cold = ProfileRecord("Sensor.latest")
+    cold.calls = 2
+    cold.cpu_service = 0.002
+    cold.errors = 1
+    activation = ProfileRecord("Sensor/org-0/s-1")
+    activation.calls = 12
+    activation.cpu_service = 0.01
+    fields = dict(
+        total_cpu_seconds=0.01,
+        attributed_cpu_seconds=0.01,
+        turns=12,
+        rows=[hot, cold],
+        hot_activations=[activation],
+        backlogs=[("Sensor/org-0/s-1", 7, "silo-0")],
+    )
+    fields.update(overrides)
+    return ProfileReport(**fields)
+
+
+def test_render_profile_shows_rows_shares_and_backlogs():
+    text = render_profile(make_report())
+    assert "100.0% coverage" in text
+    assert "Sensor.ingest" in text
+    assert "80.0%" in text  # 0.008 of 0.010
+    assert "errors=1" in text
+    assert "Sensor/org-0/s-1 @silo-0  depth=7" in text
+
+
+def test_render_profile_truncates_rows_and_reports_overflow():
+    rows = []
+    for index in range(5):
+        row = ProfileRecord(f"A.m{index}")
+        row.cpu_service = 0.001
+        rows.append(row)
+    report = make_report(rows=rows, method_overflow=3, activation_overflow=2)
+    text = render_profile(report, max_rows=2)
+    assert "… 3 more rows" in text
+    assert "3 method fetches" in text
+    assert "2 activation fetches" in text
+
+
+def test_render_profile_handles_empty_report():
+    report = make_report(
+        total_cpu_seconds=0.0, attributed_cpu_seconds=0.0, turns=0,
+        rows=[], hot_activations=[], backlogs=[],
+    )
+    text = render_profile(report)
+    assert "(none)" in text
+
+
+def test_render_alerts_one_transition_per_line():
+    alerts = [
+        Alert("r", "critical", "firing", 1.0, 9.0, 5.0),
+        Alert("r", "critical", "cleared", 3.0, 1.0, 5.0),
+    ]
+    text = render_alerts(alerts)
+    lines = text.splitlines()
+    assert "FIRING" in lines[1] and "value 9 vs threshold 5" in lines[1]
+    assert "cleared" in lines[2]
+    assert render_alerts([]).splitlines()[1] == "  (none)"
+
+
+def test_render_health_lists_rule_states():
+    registry = MetricsRegistry()
+    monitor = HealthMonitor(
+        registry,
+        [
+            SloRule(name="depth", metric="queue.depth", op=">", threshold=5.0),
+            SloRule(name="ghost", metric="not.deployed", op=">", threshold=0.0),
+        ],
+    )
+    registry.gauge("queue.depth").set(9.0)
+    monitor.evaluate(1.0)
+    text = render_health(monitor)
+    assert "1 of 2 rules firing" in text
+    assert "[FIRING] depth: queue.depth > 5 (last 9)" in text
+    assert "[ok    ] ghost: not.deployed > 0 (last n/a)" in text
+    assert "alert history:" in text
