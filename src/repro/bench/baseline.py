@@ -1,0 +1,306 @@
+"""Perf-regression baselines: the BENCH JSON files and their CI gate.
+
+Each fast-path bench commits its numbers to a ``BENCH_<name>.json`` at the
+repository root, recording both series of the perf trajectory:
+
+- ``seed`` — the pre-fast-path operating point (``fast_path=False``), i.e.
+  the calibration the paper's Figure 6/7 numbers validate;
+- ``fast`` — the ingestion fast path (delivery batching + dispatch-overhead
+  amortization + directory caching + group commit).
+
+Every file carries a ``full`` mode (the committed figure sweep) and a
+``smoke`` mode (a three-point sweep cheap enough for CI).  The CI
+perf-regression gate re-runs the *smoke* sweep and compares it against the
+committed smoke series::
+
+    python -m repro.bench fig6 --smoke --check-baseline BENCH_fig6.json
+
+The gate fails when any matched point's throughput drops more than 10% or
+its p99 insert latency rises more than 15%.  The simulator is deterministic
+(seeded virtual time), so a healthy checkout reproduces the baseline
+exactly; the tolerances are margin for intentional small reworks, not for
+measurement noise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+from . import experiments
+from .experiments import FigPoint, FigResult
+
+#: Gate thresholds (fractions).  A matched point fails the gate when its
+#: fresh throughput is below ``(1 - THROUGHPUT_DROP_TOLERANCE)`` of the
+#: baseline, or its fresh p99 exceeds ``(1 + P99_RISE_TOLERANCE)`` of it.
+THROUGHPUT_DROP_TOLERANCE = 0.10
+P99_RISE_TOLERANCE = 0.15
+
+#: Smoke sweeps: one point in the linear region, one at the seed saturation
+#: knee, one past it where only the fast path keeps up.
+FIG6_SMOKE = dict(sensor_counts=(600, 1800, 3000), duration=4.0)
+FIG7_SMOKE = dict(scale_factors=(1, 2), duration=4.0)
+
+
+def _row(point: FigPoint) -> dict:
+    row = {
+        "sensors": point.sensors,
+        "servers": point.servers,
+        "offered_rps": point.offered_rps,
+        "throughput_rps": round(point.throughput, 2),
+        "utilization": round(point.utilization, 4),
+    }
+    if point.insert is not None:
+        row["p50_ms"] = round(point.insert.p50 * 1000, 2)
+        row["p99_ms"] = round(point.insert.p99 * 1000, 2)
+    return row
+
+
+def _series(result: FigResult) -> list[dict]:
+    return [_row(point) for point in result.points]
+
+
+def _saturation(rows: list[dict]) -> float:
+    return max((row["throughput_rps"] for row in rows), default=0.0)
+
+
+def _fig_payload(
+    bench: str,
+    runner: Callable[..., FigResult],
+    mode: str,
+    smoke_kwargs: dict,
+) -> dict:
+    kwargs = dict(smoke_kwargs) if mode == "smoke" else {}
+    fast = runner(fast_path=True, **kwargs)
+    seed = runner(fast_path=False, **kwargs)
+    fast_rows, seed_rows = _series(fast), _series(seed)
+    return {
+        "bench": bench,
+        "mode": mode,
+        "title": fast.title,
+        "series": {"seed": seed_rows, "fast": fast_rows},
+        "summary": {
+            "seed_saturation_rps": _saturation(seed_rows),
+            "fast_saturation_rps": _saturation(fast_rows),
+            "speedup": round(
+                _saturation(fast_rows) / max(1e-9, _saturation(seed_rows)), 3
+            ),
+        },
+    }
+
+
+def build_fig6(smoke: bool = False) -> dict:
+    """Figure 6 (single-server saturation), seed vs fast path."""
+    return _fig_payload(
+        "fig6", experiments.run_fig6, "smoke" if smoke else "full", FIG6_SMOKE
+    )
+
+
+def build_fig7(smoke: bool = False) -> dict:
+    """Figure 7 (scale-out), seed vs fast path."""
+    return _fig_payload(
+        "fig7", experiments.run_fig7, "smoke" if smoke else "full", FIG7_SMOKE
+    )
+
+
+def build_micro(smoke: bool = False) -> dict:
+    """Mechanism-level counters proving where the fast path's win comes from.
+
+    Runs one small single-silo load twice (fast path on/off) and reports the
+    batching, directory-cache and group-commit counters next to the A/B
+    latency numbers — the profiler-style accounting the acceptance criteria
+    ask for ("savings come from network/storage, not workload distortion").
+
+    The figure runs follow the paper and disable per-request persistence,
+    which leaves group commit idle there; the ``*_durable`` variants rerun
+    the same load with write-through channel state against a provisioned
+    store so the storage half of the fast path is measured too.
+    """
+    from ..kernel import Scheduler
+    from ..net.latency import ConstantLatency
+    from ..runtime.persistence import WritePolicy
+    from ..shm.channel import PhysicalSensorChannel
+    from ..storage import ProvisionedKVStore
+    from .workload import LoadConfig, build_deployment, execute, provision
+
+    sensors = 300 if smoke else 600
+    duration = 3.0 if smoke else 6.0
+    variants: dict[str, dict] = {}
+    plans = [
+        ("fast", True, False),
+        ("seed", False, False),
+        ("fast_durable", True, True),
+        ("seed_durable", False, True),
+    ]
+    for label, fast_path, durable in plans:
+        original_policy = PhysicalSensorChannel.write_policy
+        if durable:
+            PhysicalSensorChannel.write_policy = WritePolicy.WRITE_THROUGH
+        try:
+            scheduler = Scheduler()
+            store = None
+            if durable:
+                store = ProvisionedKVStore(
+                    scheduler,
+                    read_capacity_units=5000.0,
+                    write_capacity_units=5000.0,
+                    latency=ConstantLatency(0.005),
+                )
+            deployment = build_deployment(
+                [experiments.M5_LARGE],
+                seed=11,
+                scheduler=scheduler,
+                fast_path=fast_path,
+                grain_storage=store,
+            )
+            deployment.scheduler.run_until_complete(
+                provision(deployment, sensors)
+            )
+            run = execute(
+                deployment, LoadConfig(sensors=sensors, duration=duration)
+            )
+        finally:
+            PhysicalSensorChannel.write_policy = original_policy
+        insert = run.summary("insert")
+        metrics = run.metrics
+        messages = metrics.get("net.messages", 0.0)
+        envelopes = metrics.get("net.envelopes", 0.0)
+        batched = metrics.get("net.batched_messages", 0.0)
+        hits = metrics.get("directory.cache_hits", 0.0)
+        misses = metrics.get("directory.cache_misses", 0.0)
+        variants[label] = {
+            "sensors": sensors,
+            "duration_s": duration,
+            "throughput_rps": round(
+                insert.throughput_mean if insert else 0.0, 2
+            ),
+            "p50_ms": round((insert.p50 if insert else 0.0) * 1000, 2),
+            "p99_ms": round((insert.p99 if insert else 0.0) * 1000, 2),
+            "net_messages": messages,
+            "envelopes": envelopes,
+            "batched_messages": batched,
+            "avg_cohort": round(messages / envelopes, 3) if envelopes else 0.0,
+            "batched_fraction": round(batched / messages, 3) if messages else 0.0,
+            "largest_envelope": metrics.get("net.largest_envelope", 0.0),
+            "immediate_flush_fraction": round(
+                metrics.get("batch.immediate_flushes", 0.0)
+                / max(1.0, metrics.get("batch.flushes", 0.0)),
+                3,
+            ),
+            "directory_cache_hit_rate": round(
+                hits / max(1.0, hits + misses), 4
+            ),
+            "directory_cache_invalidations": metrics.get(
+                "directory.cache_invalidations", 0.0
+            ),
+            "groupcommit_batches": metrics.get("groupcommit.batches", 0.0),
+            "groupcommit_round_trips_saved": metrics.get(
+                "groupcommit.round_trips_saved", 0.0
+            ),
+        }
+    fast, seed = variants["fast"], variants["seed"]
+    fast_durable = variants["fast_durable"]
+    return {
+        "bench": "micro",
+        "mode": "smoke" if smoke else "full",
+        "title": "Fast-path mechanism microbenchmarks (one m5.large silo)",
+        "series": variants,
+        "summary": {
+            "p50_speedup": round(
+                seed["p50_ms"] / max(1e-9, fast["p50_ms"]), 3
+            ),
+            "durable_p50_speedup": round(
+                variants["seed_durable"]["p50_ms"]
+                / max(1e-9, fast_durable["p50_ms"]),
+                3,
+            ),
+            "avg_cohort": fast["avg_cohort"],
+            "directory_cache_hit_rate": fast["directory_cache_hit_rate"],
+            "groupcommit_round_trips_saved": fast_durable[
+                "groupcommit_round_trips_saved"
+            ],
+        },
+    }
+
+
+BUILDERS: dict[str, Callable[[bool], dict]] = {
+    "fig6": build_fig6,
+    "fig7": build_fig7,
+    "micro": build_micro,
+}
+
+
+def write_baseline(path: str | Path, payloads: dict[str, dict]) -> None:
+    """Write ``{"modes": {mode: payload}}``, merging into an existing file."""
+    target = Path(path)
+    document: dict = {"modes": {}}
+    if target.exists():
+        document = json.loads(target.read_text())
+        document.setdefault("modes", {})
+    for mode, payload in payloads.items():
+        document["modes"][mode] = payload
+    document["bench"] = next(iter(payloads.values()))["bench"]
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def load_baseline(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def _gate_rows(
+    label: str,
+    fresh_rows: list[dict],
+    base_rows: list[dict],
+    key: Callable[[dict], object],
+) -> list[str]:
+    failures: list[str] = []
+    baseline_by_key = {key(row): row for row in base_rows}
+    for row in fresh_rows:
+        base = baseline_by_key.get(key(row))
+        if base is None:
+            continue
+        floor = base["throughput_rps"] * (1 - THROUGHPUT_DROP_TOLERANCE)
+        if row["throughput_rps"] < floor:
+            failures.append(
+                f"{label} {key(row)}: throughput {row['throughput_rps']:.1f} "
+                f"rps fell below gate {floor:.1f} "
+                f"(baseline {base['throughput_rps']:.1f})"
+            )
+        if "p99_ms" in row and "p99_ms" in base:
+            ceiling = base["p99_ms"] * (1 + P99_RISE_TOLERANCE)
+            if row["p99_ms"] > ceiling:
+                failures.append(
+                    f"{label} {key(row)}: p99 {row['p99_ms']:.1f} ms rose "
+                    f"above gate {ceiling:.1f} (baseline {base['p99_ms']:.1f})"
+                )
+    return failures
+
+
+def check_against_baseline(fresh: dict, baseline: dict) -> list[str]:
+    """Compare a fresh payload to the committed file; return gate failures.
+
+    Matches the fresh run's mode against the same mode in the baseline file
+    and gates every point of both series (the fast path must not regress,
+    and the seed series doubles as a calibration-drift alarm).
+    """
+    base_payload = baseline.get("modes", {}).get(fresh["mode"])
+    if base_payload is None:
+        return [
+            f"baseline has no '{fresh['mode']}' mode for bench "
+            f"'{fresh['bench']}'; regenerate it with --write-baseline"
+        ]
+    failures: list[str] = []
+    fresh_series = fresh["series"]
+    base_series = base_payload["series"]
+    for name in fresh_series:
+        if name not in base_series:
+            continue
+        fresh_rows, base_rows = fresh_series[name], base_series[name]
+        if isinstance(fresh_rows, dict):  # micro: one row per variant
+            fresh_rows, base_rows = [fresh_rows], [base_rows]
+            key = lambda row: name  # noqa: E731
+        else:
+            key = lambda row: (row["sensors"], row["servers"])  # noqa: E731
+        failures.extend(_gate_rows(name, fresh_rows, base_rows, key))
+    return failures

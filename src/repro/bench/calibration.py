@@ -35,6 +35,23 @@ SENSOR_INGEST_COST = 0.00035
 CHANNEL_INGEST_COST = 0.00035
 VIRTUAL_INGEST_COST = 0.00030
 
+# Of each method's cost, the share that is per-message *dispatch* overhead
+# (deserialization, scheduling, envelope handling) rather than application
+# work — roughly 40% of a small message's service time, in line with the
+# RPC-overhead share Orleans reports for sub-millisecond grain calls.  The
+# ingestion fast path amortizes exactly this share across an envelope's
+# cohort: a K-message envelope pays one dispatch, so each member charges
+# (cost - overhead) + overhead/K.  With batching off (cohort 1) charges are
+# bit-identical to the seed model, keeping the Figure 6 calibration intact.
+DISPATCH_OVERHEAD_COST = 0.00015
+
+# Envelope window on the calibrated fast path (virtual seconds).  1 ms is
+# the sweet spot measured in EXPERIMENTS.md's batch-window sweep: wide
+# enough that the CPU-serialized sensor→channel fan-out forms cohorts
+# (~5 sends/ms at saturation), narrow enough to be invisible next to the
+# hundreds of milliseconds of queueing delay at the saturation point.
+BATCH_MAX_DELAY = 0.001
+
 # -- derived (not fitted) ------------------------------------------------------
 
 # Query-side costs: a raw range read scans one channel window; a live-data
@@ -87,8 +104,17 @@ def shm_method_costs() -> dict[tuple[str, str], float]:
     }
 
 
-def calibrated_config(seed: int = 0) -> RuntimeConfig:
-    """A runtime config carrying the calibrated cost model."""
+def calibrated_config(seed: int = 0, fast_path: bool = True) -> RuntimeConfig:
+    """A runtime config carrying the calibrated cost model.
+
+    ``fast_path`` enables the ingestion fast path (adaptive delivery
+    batching with dispatch-overhead amortization and group-commit
+    write-behind).  ``fast_path=False`` reproduces the seed operating
+    point — the Figure 6 numbers the paper reports — and is what the BENCH
+    baselines record as the "seed" series.  The directory cache stays on in
+    both variants: it short-circuits per-send lookup work without touching
+    simulated time, so it cannot distort the seed calibration.
+    """
     return RuntimeConfig(
         default_method_cost=DEFAULT_METHOD_COST,
         activation_cost=ACTIVATION_COST,
@@ -100,4 +126,12 @@ def calibrated_config(seed: int = 0) -> RuntimeConfig:
         idle_timeout=3600.0,
         collection_interval=600.0,
         seed=seed,
+        enable_batching=fast_path,
+        batch_max_delay=BATCH_MAX_DELAY,
+        dispatch_overhead_cost=DISPATCH_OVERHEAD_COST if fast_path else 0.0,
+        enable_directory_cache=True,
+        enable_group_commit=fast_path,
+        # Same 1 ms window as delivery batching: flushes from one wave's
+        # drain collapse into shared BatchWriteItem round trips.
+        group_commit_max_delay=BATCH_MAX_DELAY if fast_path else 0.0,
     )

@@ -10,15 +10,33 @@ Usage::
     python -m repro.bench profile         # profiled run: CPU attribution,
                                           # health rules, telemetry actors
     python -m repro.bench profile --smoke # + profiling-invariant checks
+
+Perf baselines (fig6 / fig7 / micro)::
+
+    python -m repro.bench fig6 --write-baseline BENCH_fig6.json
+                                          # run full + smoke sweeps, commit
+    python -m repro.bench fig6 --smoke --check-baseline BENCH_fig6.json
+                                          # CI perf-regression gate
+    python -m repro.bench micro --smoke --json fresh.json
+                                          # write the fresh payload only
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from . import experiments
+from .baseline import (
+    BUILDERS,
+    build_micro,
+    check_against_baseline,
+    load_baseline,
+    write_baseline,
+)
 from .chaos import run_chaos_experiment
 from .report import format_result
 
@@ -49,6 +67,41 @@ RUNNERS = {
 }
 
 
+def _run_baseline_command(name: str, args: argparse.Namespace) -> int:
+    """fig6/fig7/micro with one of the baseline flags (or micro --smoke)."""
+    builder = BUILDERS[name]
+    started = time.time()
+    if args.write_baseline:
+        # Committing a baseline records both modes: the full sweep (the
+        # figure) and the smoke sweep the CI gate replays.
+        payloads = {"full": builder(False), "smoke": builder(True)}
+        write_baseline(args.write_baseline, payloads)
+        summary = payloads["full"]["summary"]
+        print(f"{name}: wrote {args.write_baseline} ({summary})")
+        print(f"  [wall-clock: {time.time() - started:.1f}s]")
+        return 0
+    fresh = builder(args.smoke)
+    print(f"{name} ({fresh['mode']}): {json.dumps(fresh['summary'])}")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(fresh, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"  wrote {args.json}")
+    status = 0
+    if args.check_baseline:
+        failures = check_against_baseline(
+            fresh, load_baseline(args.check_baseline)
+        )
+        if failures:
+            for failure in failures:
+                print(f"  PERF REGRESSION: {failure}")
+            status = 1
+        else:
+            print(f"  perf gate passed against {args.check_baseline}")
+    print(f"  [wall-clock: {time.time() - started:.1f}s]")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -56,7 +109,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(RUNNERS) + ["all", "trace", "profile"],
+        choices=sorted(RUNNERS) + ["all", "trace", "profile", "micro"],
         help="which figure/ablation to run (or a traced/profiled demo run)",
     )
     parser.add_argument(
@@ -67,7 +120,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="trace/profile only: tiny scenario plus invariant checks",
+        help="trace/profile: tiny scenario plus invariant checks; "
+        "fig6/fig7/micro: the three-point sweep the CI perf gate replays",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="fig6/fig7/micro: write the fresh run's payload as JSON",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        metavar="PATH",
+        help="fig6/fig7/micro: gate the fresh run against a committed "
+        "BENCH_*.json (fails on >10%% throughput drop or >15%% p99 rise)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="fig6/fig7/micro: run full + smoke sweeps and (re)write the "
+        "committed BENCH_*.json",
     )
     args = parser.parse_args(argv)
     if args.experiment == "trace":
@@ -80,6 +151,14 @@ def main(argv: list[str] | None = None) -> int:
 
         print(run_profile_bench(smoke=args.smoke))
         return 0
+    baseline_flags = args.json or args.check_baseline or args.write_baseline
+    if args.experiment == "micro":
+        if not (baseline_flags or args.smoke):
+            print(json.dumps(build_micro(False), indent=2, sort_keys=True))
+            return 0
+        return _run_baseline_command("micro", args)
+    if args.experiment in BUILDERS and (baseline_flags or args.smoke):
+        return _run_baseline_command(args.experiment, args)
     names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
     for name in names:
         runner = RUNNERS[name]

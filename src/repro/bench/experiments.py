@@ -66,8 +66,9 @@ def _run_point(
     duration: float,
     with_queries: bool,
     seed: int,
+    fast_path: bool = True,
 ) -> FigPoint:
-    deployment = build_deployment(silos, seed=seed)
+    deployment = build_deployment(silos, seed=seed, fast_path=fast_path)
     deployment.scheduler.run_until_complete(provision(deployment, sensors))
     load = LoadConfig(sensors=sensors, duration=duration, with_queries=with_queries)
     result = deployment.scheduler.run_until_complete(run_load(deployment, load))
@@ -87,14 +88,20 @@ def _run_point(
 
 
 def run_fig6(
-    sensor_counts: tuple[int, ...] = (300, 600, 900, 1200, 1500, 1800, 2100, 2400),
+    sensor_counts: tuple[int, ...] = (
+        300, 600, 900, 1200, 1500, 1800, 2100, 2400, 3000, 3600,
+    ),
     duration: float = DEFAULT_DURATION,
     seed: int = 6,
+    fast_path: bool = True,
 ) -> FigResult:
     """Figure 6: single-server (m5.large) ingestion throughput.
 
-    Expectation: throughput tracks the offered load linearly and saturates
-    near 1,800 requests/second as utilization reaches 100%.
+    Expectation (seed model, ``fast_path=False``): throughput tracks the
+    offered load linearly and saturates near 1,800 requests/second as
+    utilization reaches 100%.  With the ingestion fast path the saturation
+    point moves up (dispatch overhead amortized across envelopes) while the
+    linear region is unchanged.
     """
     result = FigResult(
         "fig6",
@@ -103,11 +110,15 @@ def run_fig6(
             "paper_saturation_rps": 1800,
             "predicted_saturation_rps": saturation_request_rate(M5_LARGE.capacity),
             "insert_cost_core_ms": average_insert_cost() * 1000,
+            "fast_path": fast_path,
         },
     )
     for sensors in sensor_counts:
         result.points.append(
-            _run_point([M5_LARGE], sensors, duration, with_queries=False, seed=seed)
+            _run_point(
+                [M5_LARGE], sensors, duration,
+                with_queries=False, seed=seed, fast_path=fast_path,
+            )
         )
     return result
 
@@ -116,6 +127,7 @@ def run_fig7(
     scale_factors: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8),
     duration: float = DEFAULT_DURATION,
     seed: int = 7,
+    fast_path: bool = True,
 ) -> FigResult:
     """Figure 7: scale-out over m5.xlarge silos, 2,100 sensors per server.
 
@@ -125,7 +137,10 @@ def run_fig7(
     result = FigResult(
         "fig7",
         "Scale-out throughput (2,100 sensors per m5.xlarge silo)",
-        notes={"sensors_per_server": FIG7_SENSORS_PER_SERVER},
+        notes={
+            "sensors_per_server": FIG7_SENSORS_PER_SERVER,
+            "fast_path": fast_path,
+        },
     )
     for factor in scale_factors:
         result.points.append(
@@ -135,6 +150,7 @@ def run_fig7(
                 duration,
                 with_queries=False,
                 seed=seed,
+                fast_path=fast_path,
             )
         )
     return result

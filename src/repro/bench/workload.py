@@ -96,6 +96,8 @@ def build_deployment(
     scheduler: Scheduler | None = None,
     tracing: bool = False,
     profiling: bool = False,
+    fast_path: bool = True,
+    grain_storage=None,
 ) -> Deployment:
     """Assemble runtime + database + SHM platform over simulated servers.
 
@@ -103,11 +105,13 @@ def build_deployment(
     ``profiling=True`` turns on the continuous per-actor profiler.  Both
     stay off for figure runs so measurements reflect the uninstrumented hot
     path.  The metrics registry is always on — it is pull-based and costs
-    nothing until snapshotted.
+    nothing until snapshotted.  ``fast_path=False`` disables the ingestion
+    fast path (delivery batching, overhead amortization, group commit),
+    reproducing the seed operating point for baseline comparisons.
     """
     scheduler = scheduler or Scheduler()
     rng = RngRegistry(seed)
-    config = calibrated_config(seed)
+    config = calibrated_config(seed, fast_path=fast_path)
     network = Network(
         scheduler, rng=rng, lan=ConstantLatency(LAN_LATENCY_SECONDS)
     )
@@ -118,6 +122,7 @@ def build_deployment(
         rng=rng,
         tracer=Tracer(enabled=tracing),
         profiler=Profiler(enabled=profiling),
+        grain_storage=grain_storage,
     )
     for index, instance_type in enumerate(silos):
         runtime.add_silo(

@@ -35,15 +35,25 @@ class NetworkStats:
     duplicated_messages: int = 0
     total_latency: float = 0.0
     per_endpoint_sent: dict[str, int] = field(default_factory=dict)
+    # Envelope accounting: wire transfers actually performed.  Without
+    # batching every message is its own envelope; with batching
+    # ``envelopes < messages`` and the gap is the saved per-message work.
+    envelopes: int = 0
+    batched_messages: int = 0
+    largest_envelope: int = 0
 
-    def record(self, source: str, loopback: bool, latency: float) -> None:
-        self.messages += 1
+    def record(self, source: str, loopback: bool, latency: float, count: int = 1) -> None:
+        self.messages += count
         if loopback:
-            self.loopback_messages += 1
+            self.loopback_messages += count
         else:
-            self.remote_messages += 1
-        self.total_latency += latency
-        self.per_endpoint_sent[source] = self.per_endpoint_sent.get(source, 0) + 1
+            self.remote_messages += count
+        self.total_latency += latency * count
+        self.per_endpoint_sent[source] = self.per_endpoint_sent.get(source, 0) + count
+        self.envelopes += 1
+        if count > 1:
+            self.batched_messages += count
+        self.largest_envelope = max(self.largest_envelope, count)
 
 
 class Network:
@@ -122,6 +132,18 @@ class Network:
         a message dropped on the wire.  Only a caller-side deadline turns
         that silence into an error.
         """
+        return await self.transfer_many(source, target, 1)
+
+    def plan_envelope(self, source: str, target: str, count: int) -> float | None:
+        """Commit one envelope of ``count`` messages to the wire.
+
+        Validates endpoints, rolls the loss chance once for the whole
+        envelope (a dropped envelope loses every message aboard, exactly
+        like a lost datagram carrying a batched payload), samples its
+        latency and records stats.  Returns the delay the envelope takes to
+        arrive, or ``None`` when it was lost — the caller then parks the
+        affected messages on futures nothing resolves.
+        """
         if source not in self._endpoints:
             raise KeyError(f"unknown source endpoint {source!r}")
         if target not in self._endpoints:
@@ -129,14 +151,21 @@ class Network:
         if self.faults is not None and self.faults.drops(
             source, target, self._scheduler.now
         ):
-            self.stats.lost_messages += 1
-            lost: Future[None] = Future(f"lost:{source}->{target}")
-            await lost
-            return 0.0  # pragma: no cover - the future never resolves
+            self.stats.lost_messages += count
+            return None
         delay = self.latency_for(source, target)
         if self.faults is not None:
             delay += self.faults.extra_delay_for(source, target, self._scheduler.now)
-        self.stats.record(source, source == target, delay)
+        self.stats.record(source, source == target, delay, count)
+        return delay
+
+    async def transfer_many(self, source: str, target: str, count: int) -> float:
+        """Transfer one envelope carrying ``count`` coalesced messages."""
+        delay = self.plan_envelope(source, target, count)
+        if delay is None:
+            lost: Future[None] = Future(f"lost:{source}->{target}")
+            await lost
+            return 0.0  # pragma: no cover - the future never resolves
         if delay > 0:
             await self._scheduler.sleep(delay)
         return delay
@@ -158,3 +187,6 @@ class Network:
             "net.duplicated_messages", lambda: stats.duplicated_messages
         )
         registry.register_probe("net.total_latency_seconds", lambda: stats.total_latency)
+        registry.register_probe("net.envelopes", lambda: stats.envelopes)
+        registry.register_probe("net.batched_messages", lambda: stats.batched_messages)
+        registry.register_probe("net.largest_envelope", lambda: stats.largest_envelope)

@@ -137,7 +137,11 @@ class Activation:
                 self.runtime.config.activation_cost, profile=profile
             )
         if self.actor_class.durable:
-            cell = StateCell(self.key, self.runtime.grain_storage)
+            cell = StateCell(
+                self.key,
+                self.runtime.grain_storage,
+                writer=self.runtime.group_commit,
+            )
             load_started = self.runtime.scheduler.now
             await cell.load()
             if profile is not None:
@@ -293,6 +297,16 @@ class Activation:
                     else self.runtime.config.default_method_cost
                 )
             if cost > 0:
+                overhead = self.runtime.config.dispatch_overhead_cost
+                if overhead > 0 and invocation.batch_cohort > 1:
+                    # The cost model splits every method charge into
+                    # per-message dispatch overhead plus application work;
+                    # members of a K-message envelope share one dispatch, so
+                    # each pays work + overhead/K (Reactors-style batched
+                    # execution).  Cohort 1 charges full cost, bit-identical
+                    # to the unbatched runtime.
+                    shared = min(overhead, cost)
+                    cost = (cost - shared) + shared / invocation.batch_cohort
                 cpu_started = self.runtime.scheduler.now
                 await self.silo.cpu.consume(cost, profile=profile)
                 if span is not None and span.end is None:

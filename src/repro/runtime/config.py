@@ -55,6 +55,39 @@ class RuntimeConfig:
     # Reminder pump granularity (virtual seconds between due-checks).
     reminder_tick: float = 60.0
 
+    # -- ingestion fast path ------------------------------------------------
+
+    # Per-destination delivery batching (the actor-message Nagle): requests
+    # travelling the same (source endpoint, target silo) path within a short
+    # window ride one envelope — one latency sample, one dispatch per
+    # envelope.  Off by default so unbatched semantics stay bit-identical;
+    # the bench calibration turns it on.
+    enable_batching: bool = False
+
+    # Envelope bounds: an open envelope departs when it holds
+    # `batch_max_size` messages or `batch_max_delay` virtual seconds after
+    # its first message joined, whichever comes first.
+    batch_max_size: int = 64
+    batch_max_delay: float = 0.0002
+
+    # The share of every method's CPU cost that models per-message dispatch
+    # overhead (deserialization, scheduling, envelope handling) rather than
+    # application work.  Members of a K-message envelope each pay only 1/K
+    # of it — the Reactors-style amortization that moves the saturation
+    # point.  0.0 disables the split entirely (cohorts charge full cost).
+    dispatch_overhead_cost: float = 0.0
+
+    # Per-endpoint directory lookup caching on the send path, invalidated
+    # through GrainDirectory subscriptions (eviction, migration, repair).
+    enable_directory_cache: bool = True
+
+    # Group-commit write-behind: state flushes issued within the same
+    # window collapse into one storage round trip (KeyValueStore.put_many)
+    # while every caller still awaits real durability before its ack.
+    enable_group_commit: bool = False
+    group_commit_max_batch: int = 64
+    group_commit_max_delay: float = 0.0
+
     # -- fault tolerance ----------------------------------------------------
 
     # Default deadline (virtual seconds) applied to every ask-style call
@@ -92,6 +125,16 @@ class RuntimeConfig:
             raise ValueError("mailbox capacity must be >= 0")
         if self.reminder_tick <= 0:
             raise ValueError("reminder tick must be positive")
+        if self.batch_max_size < 1:
+            raise ValueError("batch_max_size must be >= 1")
+        if self.batch_max_delay < 0:
+            raise ValueError("batch_max_delay must be >= 0")
+        if self.dispatch_overhead_cost < 0:
+            raise ValueError("dispatch_overhead_cost must be >= 0")
+        if self.group_commit_max_batch < 1:
+            raise ValueError("group_commit_max_batch must be >= 1")
+        if self.group_commit_max_delay < 0:
+            raise ValueError("group_commit_max_delay must be >= 0")
         if self.default_call_deadline is not None and self.default_call_deadline <= 0:
             raise ValueError("default_call_deadline must be positive")
         if self.default_retry_policy is not None:

@@ -41,6 +41,11 @@ class Invocation:
     enqueued_at: float = 0.0
     started_at: float = 0.0
 
+    # How many messages shared this invocation's delivery envelope (1 when
+    # batching is off).  The activation amortizes the per-message dispatch
+    # overhead of the CPU cost model across the cohort.
+    batch_cohort: int = 1
+
     # The causal-tracing span covering this invocation (None when tracing
     # is disabled).  Runtime-internal: never serialized with the payload.
     span: "Span | None" = None

@@ -16,10 +16,13 @@ class:
 from __future__ import annotations
 
 import enum
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..storage.kv import KeyValueStore
 from .key import ActorKey
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..storage.groupcommit import GroupCommitWriter
 
 
 class WritePolicy(enum.Enum):
@@ -40,9 +43,18 @@ class StateCell:
     the conditional check fails loudly instead of silently losing data.
     """
 
-    def __init__(self, key: ActorKey, store: KeyValueStore) -> None:
+    def __init__(
+        self,
+        key: ActorKey,
+        store: KeyValueStore,
+        writer: "GroupCommitWriter | None" = None,
+    ) -> None:
         self._key = key
         self._store = store
+        # Optional group-commit path: flushes join a commit window instead
+        # of paying their own storage round trip.  Durability is identical —
+        # flush() still returns only after the write landed.
+        self._writer = writer
         self.document: dict[str, Any] = {}
         self._etag = 0
         self.dirty = False
@@ -67,9 +79,14 @@ class StateCell:
         """Write the document if dirty (no-op otherwise)."""
         if not self.dirty:
             return
-        self._etag = await self._store.put(
-            self._key.storage_key(), self.document, expected_etag=self._etag
-        )
+        if self._writer is not None:
+            self._etag = await self._writer.put(
+                self._key.storage_key(), self.document, expected_etag=self._etag
+            )
+        else:
+            self._etag = await self._store.put(
+                self._key.storage_key(), self.document, expected_etag=self._etag
+            )
         self.dirty = False
         self.flushes += 1
 

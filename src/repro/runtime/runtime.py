@@ -29,17 +29,19 @@ from ..errors import (
 from ..kernel.futures import Future
 from ..kernel.rng import RngRegistry
 from ..kernel.scheduler import Scheduler, Task
+from ..net.batching import EnvelopeBatcher
 from ..net.network import Network
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import Profiler
 from ..obs.trace import Span, Tracer
+from ..storage.groupcommit import GroupCommitWriter
 from ..storage.kv import InMemoryKVStore, KeyValueStore
 from ..storage.serde import snapshot
 from ..storage.system_store import SystemStore
 from .activation import Activation
 from .actor import Actor
 from .config import RuntimeConfig
-from .directory import GrainDirectory
+from .directory import DirectoryCache, GrainDirectory
 from .key import ActorKey
 from .messages import DeliveryReceipt, Invocation
 from .placement import PinnedPlacement, build_strategies
@@ -107,7 +109,29 @@ class AodbRuntime:
         self.grain_storage = (
             grain_storage if grain_storage is not None else InMemoryKVStore()
         )
+        # Group-commit write-behind: state flushes issued within one window
+        # collapse into a single storage round trip (None = direct puts).
+        self.group_commit: GroupCommitWriter | None = None
+        if self.config.enable_group_commit:
+            self.group_commit = GroupCommitWriter(
+                self.grain_storage,
+                self.scheduler,
+                max_batch=self.config.group_commit_max_batch,
+                max_delay=self.config.group_commit_max_delay,
+            )
         self.directory = GrainDirectory()
+        # Per-endpoint directory caches on the send path, invalidated via
+        # directory subscription (created lazily, one per caller endpoint).
+        self._directory_caches: dict[str, DirectoryCache] = {}
+        # Ingestion fast path: coalesce same-path deliveries into envelopes.
+        self._batcher: EnvelopeBatcher | None = None
+        if self.config.enable_batching:
+            self._batcher = EnvelopeBatcher(
+                self.network,
+                self.scheduler,
+                max_size=self.config.batch_max_size,
+                max_delay=self.config.batch_max_delay,
+            )
         self.strategies = build_strategies(self.rng.stream("placement"))
         self.stats = RuntimeStats()
         self._actor_types: dict[str, type[Actor]] = {}
@@ -128,6 +152,8 @@ class AodbRuntime:
         register = getattr(self.grain_storage, "register_metrics", None)
         if register is not None:
             register(self.metrics)
+        if self.group_commit is not None:
+            self.group_commit.register_metrics(self.metrics)
         self._register_runtime_metrics()
         self.profiler.register_metrics(self.metrics)
         # End-to-end ask latency feeds the p99 SLO rule; observed only on
@@ -163,6 +189,25 @@ class AodbRuntime:
         registry.register_probe("trace.spans_dropped", lambda: self.tracer.dropped)
         registry.register_probe(
             "metrics.dropped_label_sets", lambda: registry.dropped_label_sets
+        )
+        if self._batcher is not None:
+            batcher = self._batcher
+            registry.register_probe("batch.flushes", lambda: batcher.flushes)
+            registry.register_probe(
+                "batch.immediate_flushes", lambda: batcher.immediate_flushes
+            )
+        caches = self._directory_caches
+        registry.register_probe(
+            "directory.cache_hits",
+            lambda: sum(c.stats.hits for c in caches.values()),
+        )
+        registry.register_probe(
+            "directory.cache_misses",
+            lambda: sum(c.stats.misses for c in caches.values()),
+        )
+        registry.register_probe(
+            "directory.cache_invalidations",
+            lambda: sum(c.stats.invalidations for c in caches.values()),
         )
         # Membership view, for the health monitor's heartbeat rules.
         registry.register_probe(
@@ -580,8 +625,34 @@ class AodbRuntime:
 
     # -- dispatch ---------------------------------------------------------------------
 
+    def _directory_cache(self, endpoint: str) -> DirectoryCache:
+        """The (lazily created) directory cache for one caller endpoint."""
+        cache = self._directory_caches.get(endpoint)
+        if cache is None:
+            cache = DirectoryCache(endpoint)
+            self.directory.subscribe(cache)
+            self._directory_caches[endpoint] = cache
+        return cache
+
     def _resolve_activation(self, key: ActorKey, caller_endpoint: str) -> Activation:
         """Find or create (synchronously) the activation for ``key``."""
+        cache: DirectoryCache | None = None
+        if self.config.enable_directory_cache:
+            cache = self._directory_cache(caller_endpoint)
+            cached = cache.get(key)
+            if cached is not None:
+                # A hit only short-circuits the *happy* path: the silo must
+                # be up and the activation live.  Anything less drops the
+                # entry and takes the authoritative path below, so crash and
+                # repair semantics are identical with and without the cache.
+                silo = self._silos.get(cached)
+                if silo is not None and not silo.crashed:
+                    activation = silo.get_activation(key)
+                    if activation is not None and not activation.closing:
+                        cache.stats.hits += 1
+                        return activation
+                cache.invalidate(key)
+            cache.stats.misses += 1
         silo_id = self.directory.lookup(key)
         predecessor = None
         if silo_id is not None:
@@ -602,6 +673,8 @@ class AodbRuntime:
             else:
                 activation = silo.get_activation(key) if silo is not None else None
                 if activation is not None and not activation.closing:
+                    if cache is not None:
+                        cache.put(key, silo_id)
                     return activation
                 # Stale entry (collected, closing, or silo gone): clear it
                 # and fall through to fresh placement.
@@ -631,6 +704,8 @@ class AodbRuntime:
             # to a dead host would.
             raise SiloUnavailableError(f"silo {silo_id!r} is not responding")
         self.directory.register(key, silo_id)
+        if cache is not None:
+            cache.put(key, silo_id)
         activation = Activation(
             self,
             actor_class,
@@ -653,9 +728,19 @@ class AodbRuntime:
             except Exception as exc:  # noqa: BLE001 - surfaced on the reply
                 self._fail_invocation(invocation, exc)
                 return
-            delay = await self.network.transfer(
-                invocation.caller_endpoint, activation.silo.silo_id
-            )
+            if self._batcher is not None:
+                try:
+                    delay, cohort = await self._batcher.transfer(
+                        invocation.caller_endpoint, activation.silo.silo_id
+                    )
+                except Exception as exc:  # noqa: BLE001 - routing failure
+                    self._fail_invocation(invocation, exc)
+                    return
+                invocation.batch_cohort = cohort
+            else:
+                delay = await self.network.transfer(
+                    invocation.caller_endpoint, activation.silo.silo_id
+                )
             span = invocation.span
             if span is not None and span.end is None:
                 span.network += delay

@@ -59,6 +59,10 @@ class ProvisionedKVStore(KeyValueStore):
         self.rcu_consumed = 0.0
         self.wcu_consumed = 0.0
         self.throttle_stall_seconds = 0.0
+        # Group-commit accounting: batched puts pay full capacity units but
+        # share one latency round trip (DynamoDB BatchWriteItem).
+        self.write_batches = 0
+        self.batched_round_trips_saved = 0
 
     # -- helpers ---------------------------------------------------------------
 
@@ -122,6 +126,33 @@ class ProvisionedKVStore(KeyValueStore):
         await self._network_round_trip()
         return await self._inner.put(key, value, expected_etag)
 
+    async def put_many(
+        self, entries: list[tuple[str, Any, int | None]]
+    ) -> list[int | BaseException]:
+        """Batched puts: full WCU for every item, ONE network round trip.
+
+        Capacity is honest — a 10-item batch consumes 10 items' worth of
+        write units — but the per-request latency (and in the real system,
+        the per-request overhead) is paid once.  A capacity shortfall
+        rejects the whole batch, like a throttled ``BatchWriteItem``;
+        conditional-check failures are isolated per entry.
+        """
+        if not entries:
+            return []
+        units = sum(self._write_units(value) for _key, value, _etag in entries)
+        await self._charge(self._write_bucket, units, "write")
+        await self._network_round_trip()
+        self.write_batches += 1
+        if len(entries) > 1:
+            self.batched_round_trips_saved += len(entries) - 1
+        results: list[int | BaseException] = []
+        for key, value, expected_etag in entries:
+            try:
+                results.append(await self._inner.put(key, value, expected_etag))
+            except Exception as exc:  # noqa: BLE001 - isolated per entry
+                results.append(exc)
+        return results
+
     async def delete(self, key: str) -> bool:
         await self._charge(self._write_bucket, 1.0, "write")
         await self._network_round_trip()
@@ -162,6 +193,14 @@ class ProvisionedKVStore(KeyValueStore):
         )
         registry.register_probe("storage.reads", lambda: self.reads, **labels)
         registry.register_probe("storage.writes", lambda: self.writes, **labels)
+        registry.register_probe(
+            "storage.write_batches", lambda: self.write_batches, **labels
+        )
+        registry.register_probe(
+            "storage.batched_round_trips_saved",
+            lambda: self.batched_round_trips_saved,
+            **labels,
+        )
 
     @property
     def reads(self) -> int:

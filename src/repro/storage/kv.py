@@ -54,6 +54,27 @@ class KeyValueStore:
         """
         raise NotImplementedError
 
+    async def put_many(
+        self, entries: list[tuple[str, Any, int | None]]
+    ) -> list[int | BaseException]:
+        """Store several ``(key, value, expected_etag)`` entries.
+
+        Returns one result per entry *positionally*: the new etag on
+        success, or the exception that write raised (conditional-check
+        failures are isolated per entry, never poisoning the batch).  The
+        base implementation loops over :meth:`put` — one round trip per
+        entry; capacity-modeled stores override it to charge a single round
+        trip for the whole batch (DynamoDB ``BatchWriteItem``), which is the
+        storage half of the ingestion fast path's group commit.
+        """
+        results: list[int | BaseException] = []
+        for key, value, expected_etag in entries:
+            try:
+                results.append(await self.put(key, value, expected_etag))
+            except Exception as exc:  # noqa: BLE001 - isolated per entry
+                results.append(exc)
+        return results
+
     async def delete(self, key: str) -> bool:
         """Delete ``key``; return True if it existed."""
         raise NotImplementedError

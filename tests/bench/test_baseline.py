@@ -1,0 +1,123 @@
+"""The perf-gate arithmetic: baseline JSON write/load/check."""
+
+import pytest
+
+from repro.bench.baseline import (
+    P99_RISE_TOLERANCE,
+    THROUGHPUT_DROP_TOLERANCE,
+    check_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+
+
+def row(sensors=600, servers=1, throughput=1000.0, p99=100.0):
+    return {
+        "sensors": sensors,
+        "servers": servers,
+        "offered_rps": float(sensors),
+        "throughput_rps": throughput,
+        "utilization": 0.5,
+        "p50_ms": 50.0,
+        "p99_ms": p99,
+    }
+
+
+def payload(mode="smoke", **row_kwargs):
+    return {
+        "bench": "fig6",
+        "mode": mode,
+        "title": "test",
+        "series": {"fast": [row(**row_kwargs)], "seed": []},
+        "summary": {},
+    }
+
+
+def baseline_for(fresh):
+    return {"bench": "fig6", "modes": {fresh["mode"]: fresh}}
+
+
+def test_identical_run_passes():
+    fresh = payload()
+    assert check_against_baseline(fresh, baseline_for(payload())) == []
+
+
+def test_throughput_drop_within_tolerance_passes():
+    ok = 1000.0 * (1 - THROUGHPUT_DROP_TOLERANCE) + 1
+    fresh = payload(throughput=ok)
+    assert check_against_baseline(fresh, baseline_for(payload())) == []
+
+
+def test_throughput_drop_beyond_tolerance_fails():
+    bad = 1000.0 * (1 - THROUGHPUT_DROP_TOLERANCE) - 1
+    fresh = payload(throughput=bad)
+    failures = check_against_baseline(fresh, baseline_for(payload()))
+    assert len(failures) == 1
+    assert "throughput" in failures[0]
+
+
+def test_p99_rise_beyond_tolerance_fails():
+    bad = 100.0 * (1 + P99_RISE_TOLERANCE) + 1
+    fresh = payload(p99=bad)
+    failures = check_against_baseline(fresh, baseline_for(payload()))
+    assert len(failures) == 1
+    assert "p99" in failures[0]
+
+
+def test_improvements_always_pass():
+    fresh = payload(throughput=5000.0, p99=10.0)
+    assert check_against_baseline(fresh, baseline_for(payload())) == []
+
+
+def test_points_match_on_sensors_and_servers():
+    # A fresh point with no baseline counterpart is not gated (sweep grew).
+    fresh = payload(sensors=900, throughput=1.0, p99=9999.0)
+    assert check_against_baseline(fresh, baseline_for(payload())) == []
+
+
+def test_missing_mode_is_a_failure():
+    fresh = payload(mode="smoke")
+    baseline = {"bench": "fig6", "modes": {"full": payload(mode="full")}}
+    failures = check_against_baseline(fresh, baseline)
+    assert len(failures) == 1
+    assert "no 'smoke' mode" in failures[0]
+
+
+def test_micro_variant_rows_are_gated():
+    fresh = {
+        "bench": "micro",
+        "mode": "smoke",
+        "series": {"fast": row(throughput=500.0)},
+        "summary": {},
+    }
+    base = {
+        "bench": "micro",
+        "mode": "smoke",
+        "series": {"fast": row(throughput=1000.0)},
+        "summary": {},
+    }
+    failures = check_against_baseline(
+        fresh, {"bench": "micro", "modes": {"smoke": base}}
+    )
+    assert len(failures) == 1
+
+
+def test_write_baseline_merges_modes(tmp_path):
+    target = tmp_path / "BENCH_fig6.json"
+    write_baseline(target, {"full": payload(mode="full")})
+    write_baseline(target, {"smoke": payload(mode="smoke")})
+    document = load_baseline(target)
+    assert set(document["modes"]) == {"full", "smoke"}
+    assert document["bench"] == "fig6"
+    # Re-writing one mode replaces it without touching the other.
+    write_baseline(target, {"smoke": payload(mode="smoke", throughput=2.0)})
+    document = load_baseline(target)
+    assert (
+        document["modes"]["smoke"]["series"]["fast"][0]["throughput_rps"] == 2.0
+    )
+    assert document["modes"]["full"]["series"]["fast"][0]["throughput_rps"] == 1000.0
+
+
+def test_gate_thresholds_are_the_documented_ones():
+    assert THROUGHPUT_DROP_TOLERANCE == pytest.approx(0.10)
+    assert P99_RISE_TOLERANCE == pytest.approx(0.15)

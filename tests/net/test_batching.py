@@ -1,0 +1,233 @@
+"""Unit tests for the adaptive delivery batcher (the actor-message Nagle)."""
+
+import pytest
+
+from repro.kernel import RngRegistry, Scheduler
+from repro.net import ConstantLatency, Network
+from repro.net.batching import (
+    PROBE_INTERVAL,
+    SOLO_STREAK_LIMIT,
+    EnvelopeBatcher,
+)
+
+LAN = 0.001
+WINDOW = 0.01
+
+
+@pytest.fixture
+def sched():
+    return Scheduler()
+
+
+@pytest.fixture
+def net(sched):
+    network = Network(
+        sched,
+        rng=RngRegistry(1),
+        loopback=ConstantLatency(0.0),
+        lan=ConstantLatency(LAN),
+    )
+    network.register("client")
+    network.register("silo-a")
+    network.register("silo-b")
+    return network
+
+
+@pytest.fixture
+def batcher(sched, net):
+    return EnvelopeBatcher(net, sched, max_size=4, max_delay=WINDOW)
+
+
+def test_same_instant_messages_share_one_envelope(sched, net, batcher):
+    async def main():
+        first = batcher.transfer("client", "silo-a")
+        second = batcher.transfer("client", "silo-a")
+        return await first, await second
+
+    (elapsed_a, cohort_a), (elapsed_b, cohort_b) = sched.run_until_complete(main())
+    assert cohort_a == cohort_b == 2
+    assert net.stats.envelopes == 1
+    assert net.stats.messages == 2
+    assert net.stats.batched_messages == 2
+    assert net.stats.largest_envelope == 2
+    # Both waited the full window then one wire latency.
+    assert elapsed_a == pytest.approx(WINDOW + LAN)
+    assert elapsed_b == pytest.approx(WINDOW + LAN)
+
+
+def test_distinct_paths_never_coalesce(sched, net, batcher):
+    async def main():
+        to_a = batcher.transfer("client", "silo-a")
+        to_b = batcher.transfer("client", "silo-b")
+        return await to_a, await to_b
+
+    (_, cohort_a), (_, cohort_b) = sched.run_until_complete(main())
+    assert cohort_a == cohort_b == 1
+    assert net.stats.envelopes == 2
+
+
+def test_size_bound_flushes_before_window(sched, net, batcher):
+    async def main():
+        tickets = [batcher.transfer("client", "silo-a") for _ in range(4)]
+        results = [await ticket for ticket in tickets]
+        return results, sched.now
+
+    results, finished = sched.run_until_complete(main())
+    assert [cohort for _, cohort in results] == [4, 4, 4, 4]
+    # Departed at the size bound (t=0), not at the window (t=WINDOW).
+    assert finished == pytest.approx(LAN)
+    assert net.stats.envelopes == 1
+
+
+def test_max_size_one_degenerates_to_unbatched(sched, net):
+    batcher = EnvelopeBatcher(net, sched, max_size=1, max_delay=WINDOW)
+
+    async def main():
+        _, cohort = await batcher.transfer("client", "silo-a")
+        return cohort, sched.now
+
+    cohort, finished = sched.run_until_complete(main())
+    assert cohort == 1
+    assert finished == pytest.approx(LAN)
+
+
+def test_overflow_starts_a_second_envelope(sched, net, batcher):
+    async def main():
+        tickets = [batcher.transfer("client", "silo-a") for _ in range(5)]
+        return [await ticket for ticket in tickets]
+
+    results = sched.run_until_complete(main())
+    assert [cohort for _, cohort in results] == [4, 4, 4, 4, 1]
+    assert net.stats.envelopes == 2
+
+
+def test_sparse_path_goes_immediate_after_solo_streak(sched, net, batcher):
+    """After SOLO_STREAK_LIMIT solo envelopes the path stops paying the window."""
+    spacing = 10 * WINDOW  # far apart: every envelope is solo
+    durations = []
+
+    async def main():
+        for _ in range(SOLO_STREAK_LIMIT + 1):
+            started = sched.now
+            await batcher.transfer("client", "silo-a")
+            durations.append(sched.now - started)
+            await sched.sleep(spacing)
+
+    sched.run_until_complete(main())
+    # The first SOLO_STREAK_LIMIT sends pay the full window...
+    for duration in durations[:SOLO_STREAK_LIMIT]:
+        assert duration == pytest.approx(WINDOW + LAN)
+    # ...then the streak trips and delivery is immediate (wire latency only).
+    assert durations[-1] == pytest.approx(LAN)
+    assert batcher.immediate_flushes == 1
+
+
+def test_probe_envelope_rediscovers_batching(sched, net, batcher):
+    """A sparse path re-enters windowed batching when traffic returns.
+
+    Without probes, immediate (cohort-1) envelopes would perpetuate the solo
+    streak forever.  Here the path first goes sparse, then a burst arrives;
+    within PROBE_INTERVAL envelopes one probe must hold the window open and
+    coalesce the burst.
+    """
+    spacing = 10 * WINDOW
+    cohorts = []
+
+    async def burst():
+        tickets = [batcher.transfer("client", "silo-a") for _ in range(2)]
+        for ticket in tickets:
+            _, cohort = await ticket
+            cohorts.append(cohort)
+
+    async def main():
+        for _ in range(SOLO_STREAK_LIMIT + 1):
+            await batcher.transfer("client", "silo-a")
+            await sched.sleep(spacing)
+        # Sustained paired traffic: every envelope carries 2 candidates.
+        for _ in range(PROBE_INTERVAL + 1):
+            await burst()
+            await sched.sleep(spacing)
+
+    sched.run_until_complete(main())
+    assert max(cohorts) == 2, "no probe ever re-tested the sparse path"
+    # Once a probe coalesces, the streak resets and batching stays on.
+    assert cohorts[-2:] == [2, 2]
+
+
+def test_per_path_fifo_survives_latency_inversion(sched, batcher, net):
+    """A later envelope must not resolve before an earlier, slower one."""
+
+    class ShrinkingLatency:
+        def __init__(self):
+            self.samples = [5 * WINDOW, 0.0]
+
+        def sample(self, rng):
+            return self.samples.pop(0) if self.samples else 0.0
+
+    net.set_path_latency("client", "silo-a", ShrinkingLatency())
+    order = []
+
+    async def send(tag):
+        await batcher.transfer("client", "silo-a")
+        order.append(tag)
+
+    async def main():
+        first = sched.spawn(send("slow"))
+        # Join after the first envelope departed so a new one forms.
+        await sched.sleep(2 * WINDOW)
+        second = sched.spawn(send("fast"))
+        await sched.gather([first, second])
+
+    sched.run_until_complete(main())
+    assert order == ["slow", "fast"]
+
+
+def test_lost_envelope_parks_members_but_chain_stays_live(sched, net, batcher):
+    plans = {"drop": True}
+    real_plan = net.plan_envelope
+
+    def flaky_plan(source, target, count):
+        if plans.pop("drop", False):
+            net.stats.lost_messages += count
+            return None
+        return real_plan(source, target, count)
+
+    net.plan_envelope = flaky_plan
+    outcomes = []
+
+    async def send(tag):
+        await batcher.transfer("client", "silo-a")
+        outcomes.append(tag)
+
+    async def main():
+        sched.spawn(send("lost"))
+        await sched.sleep(2 * WINDOW)
+        await send("after-loss")
+
+    sched.run_until_complete(main())
+    # The lost message parked forever; the path kept delivering afterwards.
+    assert outcomes == ["after-loss"]
+    assert net.stats.lost_messages == 1
+
+
+def test_unknown_target_raises_on_every_member(sched, net, batcher):
+    async def main():
+        first = batcher.transfer("client", "nowhere")
+        second = batcher.transfer("client", "nowhere")
+        results = []
+        for ticket in (first, second):
+            try:
+                await ticket
+                results.append("ok")
+            except KeyError:
+                results.append("keyerror")
+        return results
+
+    assert sched.run_until_complete(main()) == ["keyerror", "keyerror"]
+
+
+def test_constructor_validation(sched, net):
+    with pytest.raises(ValueError):
+        EnvelopeBatcher(net, sched, max_size=0)
+    with pytest.raises(ValueError):
+        EnvelopeBatcher(net, sched, max_delay=-0.1)
