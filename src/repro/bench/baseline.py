@@ -224,10 +224,24 @@ def build_micro(smoke: bool = False) -> dict:
     }
 
 
+def build_elastic(smoke: bool = False) -> dict:
+    """Elasticity bench: autoscaled diurnal ramp vs static provisioning.
+
+    Delegates to :func:`repro.bench.elastic.build_elastic` (imported lazily
+    so the baseline module stays import-light); the builder asserts the
+    elasticity invariants (zero lost messages, >=30% silo-seconds savings,
+    bounded migration-wave p99) and raises on violation.
+    """
+    from .elastic import build_elastic as _build
+
+    return _build(smoke)
+
+
 BUILDERS: dict[str, Callable[[bool], dict]] = {
     "fig6": build_fig6,
     "fig7": build_fig7,
     "micro": build_micro,
+    "elastic": build_elastic,
 }
 
 

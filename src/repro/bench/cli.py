@@ -32,7 +32,6 @@ from pathlib import Path
 from . import experiments
 from .baseline import (
     BUILDERS,
-    build_micro,
     check_against_baseline,
     load_baseline,
     write_baseline,
@@ -109,7 +108,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(RUNNERS) + ["all", "trace", "profile", "micro"],
+        choices=sorted(RUNNERS) + ["all", "trace", "profile", "micro", "elastic"],
         help="which figure/ablation to run (or a traced/profiled demo run)",
     )
     parser.add_argument(
@@ -152,11 +151,15 @@ def main(argv: list[str] | None = None) -> int:
         print(run_profile_bench(smoke=args.smoke))
         return 0
     baseline_flags = args.json or args.check_baseline or args.write_baseline
-    if args.experiment == "micro":
+    if args.experiment in ("micro", "elastic"):
         if not (baseline_flags or args.smoke):
-            print(json.dumps(build_micro(False), indent=2, sort_keys=True))
+            print(
+                json.dumps(
+                    BUILDERS[args.experiment](False), indent=2, sort_keys=True
+                )
+            )
             return 0
-        return _run_baseline_command("micro", args)
+        return _run_baseline_command(args.experiment, args)
     if args.experiment in BUILDERS and (baseline_flags or args.smoke):
         return _run_baseline_command(args.experiment, args)
     names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]

@@ -98,6 +98,7 @@ def build_deployment(
     profiling: bool = False,
     fast_path: bool = True,
     grain_storage=None,
+    placement_fallback: str | None = None,
 ) -> Deployment:
     """Assemble runtime + database + SHM platform over simulated servers.
 
@@ -108,10 +109,15 @@ def build_deployment(
     nothing until snapshotted.  ``fast_path=False`` disables the ingestion
     fast path (delivery batching, overhead amortization, group commit),
     reproducing the seed operating point for baseline comparisons.
+    ``placement_fallback`` overrides the strategy unpinned prefer-local /
+    pinned placements fall back to (the elastic bench uses
+    ``"power_of_two"`` so fresh activations spread load-aware).
     """
     scheduler = scheduler or Scheduler()
     rng = RngRegistry(seed)
     config = calibrated_config(seed, fast_path=fast_path)
+    if placement_fallback is not None:
+        config.placement_fallback = placement_fallback
     network = Network(
         scheduler, rng=rng, lan=ConstantLatency(LAN_LATENCY_SECONDS)
     )

@@ -276,6 +276,7 @@ def default_slo_rules(
     min_ingest_rate: float = 1.0,
     max_backlog: float = 1000.0,
     max_error_rate: float = 1.0,
+    max_cpu_imbalance: float = 3.0,
 ) -> list[SloRule]:
     """The stock rule set an SHM-platform operator would start from.
 
@@ -333,5 +334,17 @@ def default_slo_rules(
             for_seconds=1.0,
             clear_seconds=2.0,
             description="actor calls are failing",
+        ),
+        SloRule(
+            name="cluster-imbalance",
+            metric="cluster.cpu_imbalance",
+            op=">",
+            threshold=max_cpu_imbalance,
+            for_seconds=3.0,
+            clear_seconds=3.0,
+            description=(
+                "silo CPU utilization is imbalanced (max/min ratio) — "
+                "hot actors are concentrating on few silos"
+            ),
         ),
     ]

@@ -154,6 +154,17 @@ class Profiler:
         rows.sort(key=lambda r: (-r.cpu_service, r.label))
         return rows[:top]
 
+    def hot_activation_keys(self, top: int = 10) -> list["ActorKey"]:
+        """Keys of the hottest activations (excludes the overflow sink).
+
+        The elastic rebalancer consumes this to decide *which* activations
+        to migrate off an overloaded silo — the same ranking
+        :meth:`hot_activations` renders for operators, but addressable.
+        """
+        keys = list(self._activations.items())
+        keys.sort(key=lambda item: (-item[1].cpu_service, item[1].label))
+        return [key for key, _ in keys[:top]]
+
     def attributed_cpu(self) -> float:
         """Total CPU service seconds attributed to method rows."""
         total = sum(r.cpu_service for r in self._methods.values())

@@ -15,8 +15,10 @@ from .messages import DeliveryReceipt, Invocation
 from .persistence import StateCell, WritePolicy
 from .placement import (
     HashPlacement,
+    HashRingPlacement,
     PinnedPlacement,
     PlacementStrategy,
+    PowerOfTwoPlacement,
     PreferLocalPlacement,
     RandomPlacement,
 )
@@ -44,10 +46,12 @@ __all__ = [
     "DeliveryReceipt",
     "GrainDirectory",
     "HashPlacement",
+    "HashRingPlacement",
     "Invocation",
     "NO_RETRY",
     "PinnedPlacement",
     "PlacementStrategy",
+    "PowerOfTwoPlacement",
     "PreferLocalPlacement",
     "RandomPlacement",
     "ResilienceStats",

@@ -52,6 +52,11 @@ class RuntimeConfig:
     # Default placement strategy name for actor types that do not choose.
     default_placement: str = "random"
 
+    # Strategy name the prefer_local and pinned strategies fall back to for
+    # undecidable cases (client callers, unpinned keys).  The elastic bench
+    # sets "power_of_two" so overflow placement is load-aware.
+    placement_fallback: str = "random"
+
     # Reminder pump granularity (virtual seconds between due-checks).
     reminder_tick: float = 60.0
 

@@ -7,13 +7,29 @@ for chatty neighbours; the paper's SHM deployment switched sensor channels
 and aggregators to prefer-local (§5).  All three strategies used in the
 paper's discussion are implemented, plus a stable-hash strategy that gives
 deterministic spreading without randomness.
+
+The elasticity layer (``repro.elastic``) adds two more:
+
+- ``power_of_two`` — the classic "power of two choices": probe two random
+  candidate silos and place on the less loaded one.  Near-optimal load
+  spread at the cost of two load probes, and (unlike a full argmin scan) it
+  does not herd every concurrent placement onto the same momentarily-idle
+  silo.
+- ``hash_ring`` — consistent hashing with virtual nodes.  Where the modulo
+  ``hash`` strategy remaps almost every key when membership changes (any
+  churn reshuffles ``digest % N``), the ring remaps only ~1/N of the key
+  space per joining/leaving silo, which is what makes elastic membership
+  cheap.  Keep ``hash`` for reproducing the paper's fixed-membership
+  partitioning; prefer ``hash_ring`` when silos come and go.
 """
 
 from __future__ import annotations
 
+import bisect
+import hashlib
 import random
 import zlib
-from typing import Protocol, Sequence
+from typing import Callable, Protocol, Sequence
 
 from .key import ActorKey
 
@@ -75,6 +91,81 @@ class HashPlacement:
         return active_silos[digest % len(active_silos)]
 
 
+class HashRingPlacement:
+    """Consistent-hash-ring placement with virtual nodes.
+
+    Each silo owns ``virtual_nodes`` points on a 64-bit ring; a key is
+    placed on the silo owning the first point at or after the key's hash.
+    Membership changes therefore remap only the arcs adjacent to the
+    joining/leaving silo's points — ~1/N of the key space — instead of
+    reshuffling everything the way ``digest % N`` does.  Rings are cached
+    per membership set, so steady-state placement costs one hash plus one
+    binary search.
+    """
+
+    def __init__(self, virtual_nodes: int = 64) -> None:
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.virtual_nodes = virtual_nodes
+        self._rings: dict[tuple[str, ...], tuple[list[int], list[str]]] = {}
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def _ring_for(self, members: tuple[str, ...]) -> tuple[list[int], list[str]]:
+        ring = self._rings.get(members)
+        if ring is None:
+            points: list[tuple[int, str]] = []
+            for silo_id in members:
+                for replica in range(self.virtual_nodes):
+                    points.append((self._hash(f"{silo_id}#{replica}"), silo_id))
+            points.sort()
+            ring = ([point for point, _ in points], [silo for _, silo in points])
+            self._rings[members] = ring
+        return ring
+
+    def choose(
+        self, key: ActorKey, caller_endpoint: str, active_silos: Sequence[str]
+    ) -> str:
+        members = tuple(sorted(active_silos))
+        points, silos = self._ring_for(members)
+        digest = self._hash(key.qualified())
+        index = bisect.bisect_left(points, digest)
+        if index == len(points):
+            index = 0  # wrap around the ring
+        return silos[index]
+
+
+class PowerOfTwoPlacement:
+    """Load-aware placement: probe two random silos, pick the less loaded.
+
+    ``load_of`` returns a comparable load sample for a silo id (the runtime
+    supplies ``(mailbox backlog, activation count)``).  Ties go to the first
+    probe, keeping the choice deterministic for a fixed RNG stream.
+    """
+
+    def __init__(
+        self, rng: random.Random, load_of: Callable[[str], object]
+    ) -> None:
+        self._rng = rng
+        self._load_of = load_of
+
+    def choose(
+        self, key: ActorKey, caller_endpoint: str, active_silos: Sequence[str]
+    ) -> str:
+        count = len(active_silos)
+        if count == 1:
+            return active_silos[0]
+        first = self._rng.randrange(count)
+        second = self._rng.randrange(count - 1)
+        if second >= first:
+            second += 1  # distinct second probe, uniform over the rest
+        a, b = active_silos[first], active_silos[second]
+        return a if self._load_of(a) <= self._load_of(b) else b  # type: ignore[operator]
+
+
 class PinnedPlacement:
     """Explicit key→silo pinning with a fallback for unpinned keys.
 
@@ -95,6 +186,22 @@ class PinnedPlacement:
         """Pin every key whose ``Type/id`` starts with the given prefix."""
         self._prefix_pins.append((qualified_prefix, silo_id))
 
+    def pinned_to(self, key: ActorKey) -> str | None:
+        """The silo ``key`` is explicitly pinned to, if any.
+
+        The rebalancer uses this to classify activations as *movable*:
+        migrating a pinned actor would be undone at its next activation, so
+        pinned keys are never rebalanced.
+        """
+        qualified = key.qualified()
+        pinned = self._pins.get(qualified)
+        if pinned is not None:
+            return pinned
+        for prefix, silo_id in self._prefix_pins:
+            if qualified.startswith(prefix):
+                return silo_id
+        return None
+
     def choose(
         self, key: ActorKey, caller_endpoint: str, active_silos: Sequence[str]
     ) -> str:
@@ -108,13 +215,30 @@ class PinnedPlacement:
         return self._fallback.choose(key, caller_endpoint, active_silos)
 
 
-def build_strategies(rng: random.Random) -> dict[str, PlacementStrategy]:
-    """The standard strategy registry, keyed by the names actors use."""
+def build_strategies(
+    rng: random.Random,
+    load_probe: Callable[[str], object] | None = None,
+    fallback: str = "random",
+) -> dict[str, PlacementStrategy]:
+    """The standard strategy registry, keyed by the names actors use.
+
+    ``load_probe`` (silo id → comparable load sample) enables the
+    ``power_of_two`` strategy; without it the entry is absent.  ``fallback``
+    names the strategy ``prefer_local`` and ``pinned`` delegate to when they
+    cannot decide themselves (client callers, unpinned keys) — the elastic
+    bench sets it to ``power_of_two`` so overflow placement is load-aware.
+    """
     random_strategy = RandomPlacement(rng)
-    pinned = PinnedPlacement(fallback=random_strategy)
-    return {
+    strategies: dict[str, PlacementStrategy] = {
         "random": random_strategy,
-        "prefer_local": PreferLocalPlacement(fallback=random_strategy),
         "hash": HashPlacement(),
-        "pinned": pinned,
+        "hash_ring": HashRingPlacement(),
     }
+    if load_probe is not None:
+        strategies["power_of_two"] = PowerOfTwoPlacement(rng, load_probe)
+    fallback_strategy = strategies.get(fallback)
+    if fallback_strategy is None:
+        raise ValueError(f"unknown placement fallback {fallback!r}")
+    strategies["prefer_local"] = PreferLocalPlacement(fallback=fallback_strategy)
+    strategies["pinned"] = PinnedPlacement(fallback=fallback_strategy)
+    return strategies

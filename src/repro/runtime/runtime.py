@@ -74,6 +74,11 @@ class RuntimeStats:
     silos_suspected: int = 0
     silos_evicted: int = 0
     activations_replaced: int = 0
+    # Elasticity counters: completed live migrations, migrations that could
+    # not run (missing/closing activation, bad target), and graceful drains.
+    migrations: int = 0
+    migration_failures: int = 0
+    silos_drained: int = 0
     last_error: str = ""
     failed_keys: list[str] = field(default_factory=list)
 
@@ -132,7 +137,11 @@ class AodbRuntime:
                 max_size=self.config.batch_max_size,
                 max_delay=self.config.batch_max_delay,
             )
-        self.strategies = build_strategies(self.rng.stream("placement"))
+        self.strategies = build_strategies(
+            self.rng.stream("placement"),
+            load_probe=self._silo_load,
+            fallback=self.config.placement_fallback,
+        )
         self.stats = RuntimeStats()
         self._actor_types: dict[str, type[Actor]] = {}
         self._silos: dict[str, Silo] = {}
@@ -176,6 +185,7 @@ class AodbRuntime:
             "activations_crashed", "activation_failures",
             "reminders_delivered", "calls_retried", "deadlines_exceeded",
             "silos_suspected", "silos_evicted", "activations_replaced",
+            "migrations", "migration_failures", "silos_drained",
         ):
             registry.register_probe(
                 f"runtime.{name}", lambda n=name: getattr(stats, n)
@@ -224,6 +234,30 @@ class AodbRuntime:
                 if self.system_store.status_of(entry.silo_id) == "suspected"
             ),
         )
+        registry.register_probe(
+            "elastic.silos_draining",
+            lambda: sum(1 for s in self._silos.values() if s.draining),
+        )
+        registry.register_probe("cluster.cpu_imbalance", self.cpu_imbalance)
+
+    def cpu_imbalance(self) -> float:
+        """Max/min silo CPU utilization ratio (1.0 = perfectly balanced).
+
+        Draining and crashed silos are excluded (they are leaving the
+        cluster, their emptiness is intentional).  A small epsilon keeps the
+        ratio finite when a silo is fully idle, so the health engine can
+        threshold it (``cluster-imbalance`` in ``default_slo_rules``)
+        without special-casing infinity.
+        """
+        utilizations = [
+            silo.cpu.utilization()
+            for silo in self._silos.values()
+            if not silo.crashed and not silo.draining
+        ]
+        if len(utilizations) < 2:
+            return 1.0
+        epsilon = 0.05
+        return (max(utilizations) + epsilon) / (min(utilizations) + epsilon)
 
     # -- registration ------------------------------------------------------------
 
@@ -373,6 +407,155 @@ class AodbRuntime:
         else:
             silo.crashed = True
         return lost
+
+    def _silo_load(self, silo_id: str) -> tuple[float, float]:
+        """A comparable load sample for placement probes (lower = idler).
+
+        Mailbox backlog dominates (it is the queueing signal callers feel),
+        activation count breaks ties.  Unknown/crashed silos sort last so a
+        load-aware probe never prefers them.
+        """
+        silo = self._silos.get(silo_id)
+        if silo is None or silo.crashed:
+            return (float("inf"), float("inf"))
+        return (float(silo.mailbox_backlog()), float(silo.activation_count))
+
+    # -- live migration and graceful drain -----------------------------------------
+
+    async def migrate(self, key: ActorKey, target_silo_id: str) -> bool:
+        """Move a live activation to ``target_silo_id`` without losing messages.
+
+        The protocol (DESIGN §9) reuses the deactivate/reactivate machinery
+        so per-message semantics are identical to an ordinary deactivation:
+
+        1. *Repoint* — in one atomic step (no awaits) the directory entry is
+           moved to the target (invalidating every ``DirectoryCache`` via
+           the ``unregister`` subscription) and a successor activation is
+           catalogued there.  From this instant new sends resolve to the
+           target.
+        2. *Drain* — the source activation closes: a barrier enters its
+           mailbox, queued turns run to completion on the source, state
+           persists through the normal persistence path, ``on_deactivate``
+           runs.  Messages that raced the move — already in flight to the
+           source — observe ``closing``, wait for the barrier, re-resolve
+           and are forwarded to the target.
+        3. *Hand over* — the successor's pump blocks on the source's
+           ``closed`` event before loading state, so it observes the final
+           flush and turn-based single-activation semantics are preserved:
+           at no virtual instant do two activations of the grain execute.
+
+        Returns True when the activation moved; False when there was
+        nothing to move (no live activation, already on the target, or the
+        activation was concurrently closing).  Raises on an unusable target
+        (unknown, crashed, draining, or stopping).
+        """
+        try:
+            target = self.silo(target_silo_id)
+        except SiloUnavailableError:
+            self.stats.migration_failures += 1
+            raise
+        if target.crashed or target.stopping or target.draining:
+            self.stats.migration_failures += 1
+            raise SiloUnavailableError(
+                f"silo {target_silo_id!r} cannot accept migrations"
+            )
+        source_id = self.directory.lookup(key)
+        source = self._silos.get(source_id) if source_id is not None else None
+        activation = source.get_activation(key) if source is not None else None
+        if (
+            activation is None
+            or activation.closing
+            or source is None
+            or source.crashed
+            or source_id == target_silo_id
+        ):
+            self.stats.migration_failures += 1
+            return False
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.begin(
+                key,
+                "migrate",
+                source_id,
+                self.scheduler.now,
+                method=f"migrate->{target_silo_id}",
+            )
+        # Atomic repoint: directory moves and the successor is catalogued
+        # with no awaits in between, so every racer that re-resolves from
+        # here on lands on the target.
+        self.directory.unregister(key)  # fans out to every DirectoryCache
+        self.directory.register(key, target_silo_id)
+        successor = Activation(
+            self,
+            self.actor_type(key.type_name),
+            key,
+            target,
+            predecessor_closed=activation.closed,
+        )
+        stale = target.get_activation(key)
+        if stale is not None:
+            # An earlier link in this key's close chain is still draining on
+            # the target (its close has not yet retired it from the catalog).
+            # The directory no longer points at it, so it is strictly earlier
+            # in the chain than `activation` and the successor's barrier
+            # transitively covers its flush; evicting it only removes the
+            # catalog entry — the drain itself keeps running.
+            target.remove_activation(key)
+        target.add_activation(successor)
+        self.stats.activations_created += 1
+        self.metrics.counter(
+            "elastic.migrations", source=source_id, target=target_silo_id
+        ).inc()
+        # Drain the source to its barrier (persisting state on the way out).
+        await activation.close()
+        if source.get_activation(key) is activation:
+            source.remove_activation(key)
+        self.stats.migrations += 1
+        self.tracer.finish(span, self.scheduler.now)
+        return True
+
+    async def drain_silo(self, silo_id: str) -> int:
+        """Gracefully decommission one silo: migrate everything out, then stop.
+
+        Unlike :meth:`shutdown_silo` (which deactivates in place, leaving
+        re-activation to future demand) and :meth:`crash_silo` (which loses
+        in-memory state), a drain keeps every actor *live*: the silo is
+        first excluded from placement, then each activation is migrated to
+        the least-loaded remaining silo, and only then does the shutdown
+        complete.  Returns the number of activations migrated out.
+        """
+        silo = self.silo(silo_id)
+        others = [
+            s
+            for s in self._silos.values()
+            if s.silo_id != silo_id
+            and not s.draining
+            and not s.crashed
+            and not s.stopping
+        ]
+        if not others:
+            raise SiloUnavailableError(
+                f"cannot drain {silo_id!r}: no other active silo to receive "
+                f"its activations"
+            )
+        silo.draining = True
+        migrated = 0
+        for activation in silo.activations():
+            if activation.closing:
+                continue
+            target = min(others, key=lambda s: self._silo_load(s.silo_id))
+            try:
+                if await self.migrate(activation.key, target.silo_id):
+                    migrated += 1
+            except SiloUnavailableError:
+                # The chosen target left the cluster mid-drain; retry the
+                # next activation against the survivors.
+                others = [s for s in others if s.silo_id in self._silos]
+                if not others:
+                    break
+        self.stats.silos_drained += 1
+        await self.shutdown_silo(silo_id)
+        return migrated
 
     @property
     def pinned_placement(self) -> PinnedPlacement:
@@ -690,7 +873,19 @@ class AodbRuntime:
                 f"unknown placement strategy {strategy_name!r} "
                 f"for actor type {key.type_name!r}"
             )
-        active = [s for s in self.system_store.active_silos() if s in self._silos]
+        # Draining and stopping silos are mid-decommission: they keep
+        # serving what they host, but strategies must never place *new*
+        # activations there (prefer-local would otherwise pin fresh actors
+        # onto a silo that is about to shut down, and an ask racing
+        # shutdown_silo would re-place its just-deactivated actor back on
+        # the stopping silo, orphaning it when the silo is removed).
+        active = [
+            s
+            for s in self.system_store.active_silos()
+            if s in self._silos
+            and not self._silos[s].draining
+            and not self._silos[s].stopping
+        ]
         if not active:
             raise SiloUnavailableError("no active silos in the cluster")
         silo_id = strategy.choose(key, caller_endpoint, active)
@@ -703,6 +898,18 @@ class AodbRuntime:
             # still pick the dead silo — the call fails like a connection
             # to a dead host would.
             raise SiloUnavailableError(f"silo {silo_id!r} is not responding")
+        stale = silo.get_activation(key)
+        if stale is not None:
+            # A dangling predecessor from a concurrent migration is still
+            # draining on the chosen silo: the directory stopped pointing at
+            # it when it was repointed, so it never hit the stale-entry branch
+            # above.  Evict it from the catalog (its drain keeps running) and,
+            # absent a directory-entry predecessor, use its close as the
+            # barrier so the fresh activation cannot load state before the
+            # dangling link's flush lands.
+            silo.remove_activation(key)
+            if predecessor is None:
+                predecessor = stale
         self.directory.register(key, silo_id)
         if cache is not None:
             cache.put(key, silo_id)

@@ -34,6 +34,11 @@ class Silo:
         self.cpu = CpuResource(scheduler, cores=cores, speed=speed)
         self._activations: dict[ActorKey, "Activation"] = {}
         self.stopping = False
+        # Graceful-drain decommission state: a draining silo keeps serving
+        # its current activations (unlike a crash, nothing is lost) but is
+        # excluded from placement, and the drain loop migrates its
+        # activations out before shutdown completes.
+        self.draining = False
         # Set when the silo fails without the cluster noticing: the process
         # is gone but membership still lists it until its lease lapses and
         # the failure detector evicts it.  Messages routed here fail fast.

@@ -1,0 +1,35 @@
+"""Shared fixtures for elasticity tests."""
+
+import pytest
+
+from repro.kernel import Scheduler
+from repro.runtime import AodbRuntime, RuntimeConfig
+
+
+@pytest.fixture
+def sched():
+    return Scheduler()
+
+
+@pytest.fixture
+def runtime(sched):
+    """A two-silo runtime with near-zero costs for functional tests."""
+    config = RuntimeConfig(
+        default_method_cost=0.0,
+        activation_cost=0.0,
+        idle_timeout=100.0,
+        collection_interval=10.0,
+    )
+    rt = AodbRuntime(sched, config=config)
+    rt.add_silo("silo-1", cores=2)
+    rt.add_silo("silo-2", cores=2)
+    return rt
+
+
+@pytest.fixture
+def three_silo_runtime(sched):
+    config = RuntimeConfig(default_method_cost=0.0, activation_cost=0.0)
+    rt = AodbRuntime(sched, config=config)
+    for index in (1, 2, 3):
+        rt.add_silo(f"silo-{index}", cores=2)
+    return rt

@@ -1,0 +1,254 @@
+"""Autoscaler policy: SLO-triggered growth, idle-driven drain, cooldowns."""
+
+import pytest
+
+from repro.elastic import Autoscaler, AutoscalerConfig, SiloSpec
+from repro.runtime import Actor, AodbRuntime, RuntimeConfig
+
+
+class Echo(Actor):
+    async def ping(self):
+        return self.context.silo_id
+
+
+class FakeMonitor:
+    """Stands in for HealthMonitor: the autoscaler only calls active()."""
+
+    def __init__(self):
+        self.firing = []
+
+    def active(self):
+        return list(self.firing)
+
+
+def build_runtime(sched, silos=1):
+    config = RuntimeConfig(
+        default_method_cost=0.0,
+        activation_cost=0.0,
+        idle_timeout=100.0,
+        collection_interval=10.0,
+    )
+    runtime = AodbRuntime(sched, config=config)
+    for i in range(1, silos + 1):
+        runtime.add_silo(f"silo-{i}", cores=2)
+    runtime.register_actor(Echo)
+    return runtime
+
+
+def build_autoscaler(runtime, monitor=None, pool=None, **kwargs):
+    monitor = monitor or FakeMonitor()
+    pool = pool if pool is not None else [SiloSpec("scale-1"), SiloSpec("scale-2")]
+    scaler = Autoscaler(runtime, monitor, pool, AutoscalerConfig(**kwargs))
+    return scaler, monitor
+
+
+def fake_loads(scaler, loads):
+    scaler._window.observe = lambda: dict(loads)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"interval": 0.0},
+        {"min_silos": 0},
+        {"min_silos": 3, "max_silos": 2},
+        {"scale_down_cycles": 0},
+        {"scale_up_cycles": 0},
+        {"cooldown_seconds": -1.0},
+    ],
+)
+def test_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        AutoscalerConfig(**kwargs).validate()
+
+
+def test_firing_rule_adds_silo_from_pool(sched):
+    runtime = build_runtime(sched)
+    scaler, monitor = build_autoscaler(runtime, cooldown_seconds=0.0)
+    monitor.firing = ["mailbox-backlog"]
+
+    event = sched.run_until_complete(scaler.run_cycle())
+    assert event is not None and event.direction == "up"
+    assert event.reason == "mailbox-backlog"
+    assert event.silo_id == "scale-1"
+    assert runtime.silo("scale-1") is not None
+    assert [spec.silo_id for spec in scaler.pool] == ["scale-2"]
+    assert scaler.scale_ups == 1
+
+
+def test_unrelated_rule_does_not_trigger(sched):
+    runtime = build_runtime(sched)
+    scaler, monitor = build_autoscaler(runtime, cooldown_seconds=0.0)
+    monitor.firing = ["ingest-rate"]  # not in scale_up_rules
+
+    assert sched.run_until_complete(scaler.run_cycle()) is None
+    assert scaler.scale_ups == 0
+
+
+def test_cooldown_blocks_consecutive_scale_ups(sched):
+    runtime = build_runtime(sched)
+    scaler, monitor = build_autoscaler(runtime, cooldown_seconds=10.0)
+    monitor.firing = ["mailbox-backlog"]
+
+    async def main():
+        first = await scaler.run_cycle()
+        second = await scaler.run_cycle()  # same virtual instant: locked out
+        return first, second
+
+    first, second = sched.run_until_complete(main())
+    assert first is not None and second is None
+    assert scaler.scale_ups == 1
+
+
+def test_max_silos_and_empty_pool_cap_growth(sched):
+    runtime = build_runtime(sched, silos=2)
+    scaler, monitor = build_autoscaler(
+        runtime, pool=[SiloSpec("scale-1")], max_silos=2, cooldown_seconds=0.0
+    )
+    monitor.firing = ["mailbox-backlog"]
+    assert sched.run_until_complete(scaler.run_cycle()) is None  # at max
+
+    runtime2 = build_runtime(sched, silos=1)
+    scaler2, monitor2 = build_autoscaler(
+        runtime2, pool=[], cooldown_seconds=0.0
+    )
+    monitor2.firing = ["mailbox-backlog"]
+    assert sched.run_until_complete(scaler2.run_cycle()) is None  # pool empty
+
+
+def test_cpu_trigger_scales_up_after_streak(sched):
+    runtime = build_runtime(sched)
+    scaler, _ = build_autoscaler(
+        runtime,
+        scale_up_utilization=0.70,
+        scale_up_cycles=2,
+        cooldown_seconds=0.0,
+    )
+    fake_loads(scaler, {"silo-1": 0.9})
+
+    async def main():
+        first = await scaler.run_cycle()  # hot streak 1: below scale_up_cycles
+        second = await scaler.run_cycle()  # hot streak 2: acts
+        return first, second
+
+    first, second = sched.run_until_complete(main())
+    assert first is None
+    assert second is not None and second.reason == "cpu-utilization"
+
+
+def test_cpu_trigger_uses_mean_not_max(sched):
+    """One hot silo plus a cold one must not double-fire the CPU trigger."""
+    runtime = build_runtime(sched, silos=2)
+    scaler, _ = build_autoscaler(
+        runtime,
+        scale_up_utilization=0.70,
+        scale_up_cycles=1,
+        cooldown_seconds=0.0,
+    )
+    fake_loads(scaler, {"silo-1": 0.95, "silo-2": 0.05})  # mean 0.5
+
+    assert sched.run_until_complete(scaler.run_cycle()) is None
+
+
+def test_sustained_idle_drains_least_loaded_silo(sched):
+    runtime = build_runtime(sched, silos=2)
+
+    async def activate():
+        await runtime.ref("Echo", "e1").ping()
+
+    sched.run_until_complete(activate())
+    scaler, _ = build_autoscaler(
+        runtime,
+        pool=[],
+        scale_down_utilization=0.25,
+        scale_down_cycles=3,
+        cooldown_seconds=0.0,
+    )
+    fake_loads(scaler, {"silo-1": 0.10, "silo-2": 0.02})
+
+    async def main():
+        events = [await scaler.run_cycle() for _ in range(3)]
+        return events
+
+    events = sched.run_until_complete(main())
+    assert events[0] is None and events[1] is None
+    down = events[2]
+    assert down is not None and down.direction == "down"
+    assert down.silo_id == "silo-2"
+    assert down.reason == "idle"
+    # The drained silo's spec returns to the pool for future scale-ups.
+    assert [spec.silo_id for spec in scaler.pool] == ["silo-2"]
+    assert runtime.silo("silo-1").activation_count == 1
+    assert scaler.scale_downs == 1
+
+
+def test_min_silos_floor_blocks_scale_down(sched):
+    runtime = build_runtime(sched, silos=1)
+    scaler, _ = build_autoscaler(
+        runtime, min_silos=1, scale_down_cycles=1, cooldown_seconds=0.0
+    )
+    fake_loads(scaler, {"silo-1": 0.0})
+
+    async def main():
+        for _ in range(4):
+            assert await scaler.run_cycle() is None
+
+    sched.run_until_complete(main())
+    assert scaler.scale_downs == 0
+
+
+def test_firing_rule_resets_idle_streak(sched):
+    runtime = build_runtime(sched, silos=2)
+    scaler, monitor = build_autoscaler(
+        runtime,
+        pool=[],
+        max_silos=2,
+        scale_down_cycles=2,
+        cooldown_seconds=0.0,
+    )
+    fake_loads(scaler, {"silo-1": 0.0, "silo-2": 0.0})
+
+    async def main():
+        assert await scaler.run_cycle() is None  # idle streak 1
+        monitor.firing = ["mailbox-backlog"]
+        await scaler.run_cycle()  # firing (no capacity): resets idle streak
+        monitor.firing = []
+        assert await scaler.run_cycle() is None  # idle streak 1 again
+        return await scaler.run_cycle()  # idle streak 2: drains
+
+    event = sched.run_until_complete(main())
+    assert event is not None and event.direction == "down"
+
+
+def test_silo_seconds_accrue_per_live_silo(sched):
+    runtime = build_runtime(sched, silos=3)
+    # min_silos=3 so the all-idle cluster cannot shrink mid-test.
+    scaler, _ = build_autoscaler(runtime, pool=[], interval=0.5, min_silos=3)
+
+    async def main():
+        for _ in range(4):
+            await scaler.run_cycle()
+
+    sched.run_until_complete(main())
+    assert scaler.silo_seconds == pytest.approx(3 * 0.5 * 4)
+
+
+def test_attach_detach_lifecycle(sched):
+    runtime = build_runtime(sched)
+    scaler, monitor = build_autoscaler(runtime, interval=1.0, cooldown_seconds=0.0)
+    monitor.firing = ["mailbox-backlog"]
+    scaler.attach(sched)
+    with pytest.raises(RuntimeError):
+        scaler.attach(sched)
+
+    async def idle(seconds):
+        await sched.sleep(seconds)
+
+    sched.run_until_complete(idle(2.5))
+    assert scaler.cycles == 2
+    assert scaler.scale_ups >= 1
+    scaler.detach()
+    cycles = scaler.cycles
+    sched.run_until_complete(idle(3.0))
+    assert scaler.cycles == cycles
+    scaler.detach()  # idempotent

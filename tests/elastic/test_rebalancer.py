@@ -1,0 +1,235 @@
+"""Rebalancer policy: hysteresis, budget, pin-respect, load windowing."""
+
+import pytest
+
+from repro.elastic import (
+    Rebalancer,
+    RebalancerConfig,
+    WindowedCpuLoad,
+    imbalance,
+    silo_mailbox_depths,
+)
+from repro.runtime import Actor, ActorKey, AodbRuntime, RuntimeConfig
+
+
+class Echo(Actor):
+    async def ping(self):
+        return self.context.silo_id
+
+
+def build_runtime(sched):
+    """One-silo runtime; tests add silo-2 after seeding actors on silo-1."""
+    config = RuntimeConfig(
+        default_method_cost=0.0,
+        activation_cost=0.0,
+        idle_timeout=100.0,
+        collection_interval=10.0,
+    )
+    runtime = AodbRuntime(sched, config=config)
+    runtime.add_silo("silo-1", cores=2)
+    runtime.register_actor(Echo)
+    return runtime
+
+
+async def seed_actors(runtime, n=8):
+    for i in range(n):
+        await runtime.ref("Echo", f"e{i}").ping()
+
+
+def fake_loads(rebalancer, loads):
+    """Pin the observation the control loop sees (policy tests only)."""
+    rebalancer._window.observe = lambda: dict(loads)
+
+
+# -- config / helpers --------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"interval": 0.0},
+        {"imbalance_threshold": 1.0},
+        {"hysteresis_cycles": 0},
+        {"migration_budget": 0},
+    ],
+)
+def test_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        RebalancerConfig(**kwargs).validate()
+
+
+def test_imbalance_math():
+    assert imbalance({}) == 1.0
+    assert imbalance({"a": 0.9}) == 1.0
+    assert imbalance({"a": 0.5, "b": 0.5}) == 1.0
+    # Epsilon keeps an idle silo finite: (0.95+.05)/(0+.05) = 20.
+    assert imbalance({"a": 0.95, "b": 0.0}) == pytest.approx(20.0)
+
+
+def test_silo_mailbox_depths_parses_labels():
+    snapshot = {
+        "silo.mailbox_depth{silo=silo-1}": 7,
+        "silo.mailbox_depth{silo=silo-2}": 0.0,
+        "silo.cpu_utilization{silo=silo-1}": 0.5,
+        "other.metric": 3,
+    }
+    assert silo_mailbox_depths(snapshot) == {"silo-1": 7.0, "silo-2": 0.0}
+
+
+def test_windowed_load_skips_draining_and_forgets_departed(sched):
+    runtime = build_runtime(sched)
+    runtime.add_silo("silo-2", cores=2)
+    window = WindowedCpuLoad(runtime)
+    assert set(window.observe()) == {"silo-1", "silo-2"}
+    runtime.silo("silo-2").draining = True
+    assert set(window.observe()) == {"silo-1"}
+    assert "silo-2" not in window._previous
+
+
+# -- policy ------------------------------------------------------------------------
+
+
+def test_requires_hysteresis_streak_before_acting(sched):
+    runtime = build_runtime(sched)
+    sched.run_until_complete(seed_actors(runtime))
+    runtime.add_silo("silo-2", cores=2)
+    rebalancer = Rebalancer(
+        runtime, RebalancerConfig(hysteresis_cycles=3, migration_budget=2)
+    )
+    fake_loads(rebalancer, {"silo-1": 0.9, "silo-2": 0.0})
+
+    async def main():
+        moved = [await rebalancer.run_cycle() for _ in range(3)]
+        return moved
+
+    assert sched.run_until_complete(main()) == [0, 0, 2]
+    assert rebalancer.migrations == 2
+    assert runtime.stats.migrations == 2
+    assert all(e.source == "silo-1" and e.target == "silo-2"
+               for e in rebalancer.events)
+
+
+def test_streak_resets_when_balance_recovers(sched):
+    runtime = build_runtime(sched)
+    sched.run_until_complete(seed_actors(runtime))
+    runtime.add_silo("silo-2", cores=2)
+    rebalancer = Rebalancer(runtime, RebalancerConfig(hysteresis_cycles=2))
+
+    async def main():
+        fake_loads(rebalancer, {"silo-1": 0.9, "silo-2": 0.0})
+        assert await rebalancer.run_cycle() == 0  # streak 1
+        fake_loads(rebalancer, {"silo-1": 0.5, "silo-2": 0.5})
+        assert await rebalancer.run_cycle() == 0  # balanced: streak reset
+        fake_loads(rebalancer, {"silo-1": 0.9, "silo-2": 0.0})
+        assert await rebalancer.run_cycle() == 0  # streak 1 again, not 2
+
+    sched.run_until_complete(main())
+    assert rebalancer.migrations == 0
+
+
+def test_idle_cluster_is_left_alone(sched):
+    """High ratio but tiny absolute load: min_utilization gates it."""
+    runtime = build_runtime(sched)
+    sched.run_until_complete(seed_actors(runtime))
+    runtime.add_silo("silo-2", cores=2)
+    rebalancer = Rebalancer(
+        runtime, RebalancerConfig(hysteresis_cycles=1, min_utilization=0.10)
+    )
+    fake_loads(rebalancer, {"silo-1": 0.05, "silo-2": 0.0})
+
+    async def main():
+        for _ in range(4):
+            assert await rebalancer.run_cycle() == 0
+
+    sched.run_until_complete(main())
+
+
+def test_budget_and_gap_cap_bound_each_wave(sched):
+    runtime = build_runtime(sched)
+    sched.run_until_complete(seed_actors(runtime, n=10))
+    runtime.add_silo("silo-2", cores=2)
+    rebalancer = Rebalancer(
+        runtime, RebalancerConfig(hysteresis_cycles=1, migration_budget=3)
+    )
+    fake_loads(rebalancer, {"silo-1": 0.9, "silo-2": 0.0})
+
+    async def main():
+        waves = []
+        for _ in range(4):
+            waves.append(await rebalancer.run_cycle())
+        return waves
+
+    waves = sched.run_until_complete(main())
+    # Budget caps the first wave at 3; the half-gap cap shrinks later waves
+    # as counts converge (10/0 -> 7/3 -> 5/5), down to the minimum of 1 per
+    # wave while the (frozen, synthetic) loads still claim imbalance.
+    assert waves == [3, 2, 1, 1]
+
+
+def test_convergence_does_not_ping_pong(sched):
+    """Equal loads seen post-move: the rebalancer must go quiet, not flip."""
+    runtime = build_runtime(sched)
+    sched.run_until_complete(seed_actors(runtime, n=6))
+    runtime.add_silo("silo-2", cores=2)
+    rebalancer = Rebalancer(
+        runtime, RebalancerConfig(hysteresis_cycles=1, migration_budget=8)
+    )
+
+    async def main():
+        fake_loads(rebalancer, {"silo-1": 0.9, "silo-2": 0.0})
+        first = await rebalancer.run_cycle()
+        fake_loads(rebalancer, {"silo-1": 0.5, "silo-2": 0.5})
+        later = [await rebalancer.run_cycle() for _ in range(3)]
+        return first, later
+
+    first, later = sched.run_until_complete(main())
+    assert first >= 1
+    assert later == [0, 0, 0]
+
+
+def test_pinned_activations_are_never_moved(sched):
+    runtime = build_runtime(sched)
+    for i in range(4):
+        runtime.pinned_placement.pin(ActorKey("Echo", f"e{i}"), "silo-1")
+    sched.run_until_complete(seed_actors(runtime, n=4))
+    runtime.add_silo("silo-2", cores=2)
+    rebalancer = Rebalancer(
+        runtime, RebalancerConfig(hysteresis_cycles=1, migration_budget=8)
+    )
+    fake_loads(rebalancer, {"silo-1": 0.9, "silo-2": 0.0})
+
+    async def main():
+        return [await rebalancer.run_cycle() for _ in range(3)]
+
+    assert sched.run_until_complete(main()) == [0, 0, 0]
+    assert runtime.silo("silo-1").activation_count == 4
+    assert rebalancer.migrations == 0
+
+
+def test_attach_runs_on_timer_and_detach_stops(sched):
+    runtime = build_runtime(sched)
+    sched.run_until_complete(seed_actors(runtime))
+    runtime.add_silo("silo-2", cores=2)
+    rebalancer = Rebalancer(
+        runtime, RebalancerConfig(interval=1.0, hysteresis_cycles=1)
+    )
+    fake_loads(rebalancer, {"silo-1": 0.9, "silo-2": 0.0})
+    rebalancer.attach(sched)
+    with pytest.raises(RuntimeError):
+        rebalancer.attach(sched)
+
+    async def main():
+        await sched.sleep(3.5)
+
+    sched.run_until_complete(main())
+    assert rebalancer.cycles == 3
+    assert rebalancer.migrations >= 1
+    rebalancer.detach()
+    cycles = rebalancer.cycles
+
+    async def idle():
+        await sched.sleep(5.0)
+
+    sched.run_until_complete(idle())
+    assert rebalancer.cycles == cycles
+    rebalancer.detach()  # idempotent
