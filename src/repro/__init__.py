@@ -40,7 +40,7 @@ Quickstart::
 """
 
 from .aodb import AodbDatabase, Transaction, Workflow
-from .errors import ReproError
+from .errors import FencedWriteError, QuarantinedSiloError, ReproError
 from .kernel import Scheduler
 from .runtime import (
     Actor,
@@ -60,6 +60,8 @@ __all__ = [
     "ActorRef",
     "AodbDatabase",
     "AodbRuntime",
+    "FencedWriteError",
+    "QuarantinedSiloError",
     "ReproError",
     "RuntimeConfig",
     "Scheduler",

@@ -237,11 +237,25 @@ def build_elastic(smoke: bool = False) -> dict:
     return _build(smoke)
 
 
+def build_partition(smoke: bool = False) -> dict:
+    """Partition-tolerance bench: netsplit/zombie/crash safety invariants.
+
+    Delegates to :func:`repro.bench.partition.build_partition`; the builder
+    asserts the partition-safety invariants (zero lost updates on the
+    netsplit, fenced stale writers, redo-lag-bounded crash loss) across a
+    multi-seed sweep and raises on violation.
+    """
+    from .partition import build_partition as _build
+
+    return _build(smoke)
+
+
 BUILDERS: dict[str, Callable[[bool], dict]] = {
     "fig6": build_fig6,
     "fig7": build_fig7,
     "micro": build_micro,
     "elastic": build_elastic,
+    "partition": build_partition,
 }
 
 

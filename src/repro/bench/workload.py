@@ -99,6 +99,7 @@ def build_deployment(
     fast_path: bool = True,
     grain_storage=None,
     placement_fallback: str | None = None,
+    dedup_ingest: bool = False,
 ) -> Deployment:
     """Assemble runtime + database + SHM platform over simulated servers.
 
@@ -112,6 +113,9 @@ def build_deployment(
     ``placement_fallback`` overrides the strategy unpinned prefer-local /
     pinned placements fall back to (the elastic bench uses
     ``"power_of_two"`` so fresh activations spread load-aware).
+    ``dedup_ingest=True`` provisions sensors and channels with monotonic
+    timestamp dedup, making ingestion idempotent under retries and
+    duplicated deliveries (the partition bench turns it on).
     """
     scheduler = scheduler or Scheduler()
     rng = RngRegistry(seed)
@@ -142,6 +146,7 @@ def build_deployment(
         database,
         window_capacity=window_capacity,
         enable_aggregation=enable_aggregation,
+        dedup_ingest=dedup_ingest,
     )
     return Deployment(scheduler, runtime, database, platform, rng)
 

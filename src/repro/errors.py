@@ -79,6 +79,18 @@ class ConditionalCheckFailedError(StorageError):
     """An optimistic-concurrency (ETag) check failed on write."""
 
 
+class FencedWriteError(StorageError):
+    """A write carried a fence token older than one the store has admitted.
+
+    Raised by the fenced-write path (:meth:`KeyValueStore.fenced_put`) when a
+    stale activation — typically a zombie on the minority side of a network
+    partition — tries to commit state after its successor already wrote with
+    a newer fence.  The rejection is what turns "split brain" into "bounded
+    staleness": the minority writer fails loudly instead of clobbering the
+    majority's document.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Runtime (actor) errors
 # ---------------------------------------------------------------------------
@@ -102,6 +114,17 @@ class ActorDeactivatedError(RuntimeFault):
 
 class SiloUnavailableError(RuntimeFault):
     """The target silo is not part of the active cluster membership."""
+
+
+class QuarantinedSiloError(SiloUnavailableError):
+    """The target silo lost its membership lease and self-quarantined.
+
+    A quarantined silo parks its mailboxes instead of serving asks, so calls
+    fail fast with this error rather than executing on a possibly-stale
+    activation.  It subclasses :class:`SiloUnavailableError`, so default
+    retry policies treat it as retryable — the retry lands on the successor
+    activation once the failure detector re-places the grain.
+    """
 
 
 class MailboxOverflowError(RuntimeFault):

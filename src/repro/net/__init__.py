@@ -1,6 +1,6 @@
 """Simulated network substrate: endpoints, transfers and latency models."""
 
-from .faults import NetworkFaultInjector
+from .faults import NetworkFaultInjector, PartitionInjector
 from .latency import (
     ZERO_LATENCY,
     ConstantLatency,
@@ -17,6 +17,7 @@ __all__ = [
     "Network",
     "NetworkFaultInjector",
     "NetworkStats",
+    "PartitionInjector",
     "UniformLatency",
     "ZERO_LATENCY",
 ]

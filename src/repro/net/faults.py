@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 import random
 
-__all__ = ["NetworkFaultInjector"]
+__all__ = ["NetworkFaultInjector", "PartitionInjector"]
 
 
 class NetworkFaultInjector:
@@ -83,3 +83,68 @@ class NetworkFaultInjector:
         if not self._applies(source, target, now):
             return 0.0
         return self.extra_delay
+
+
+class PartitionInjector:
+    """Scripted bidirectional network partitions between endpoint groups.
+
+    Each scenario is ``(groups, start, end)``: during ``[start, end)`` any
+    transfer whose source and target fall in *different* named groups is
+    dropped, in both directions.  Endpoints not named in any group are
+    unaffected — they can still reach everyone — which lets an experiment
+    split the silo fabric while keeping, say, the client reachable.
+
+    The pseudo-endpoint ``"system-store"`` may be named in a group to model
+    a silo losing sight of cluster system storage (the membership table):
+    the runtime consults :meth:`blocks` for its lease refreshes even though
+    the store is not a real network endpoint.  Partitions are deterministic
+    (no randomness), so the same script always splits the same messages.
+    """
+
+    def __init__(
+        self,
+        scenarios: list[tuple[list[set[str] | frozenset[str]], float, float]],
+    ) -> None:
+        self._scenarios: list[tuple[list[frozenset[str]], float, float]] = []
+        for groups, start, end in scenarios:
+            if end < start:
+                raise ValueError("partition window must have end >= start")
+            frozen = [frozenset(group) for group in groups]
+            if len(frozen) < 2:
+                raise ValueError("a partition needs at least two groups")
+            self._scenarios.append((frozen, start, end))
+        self.blocked_messages = 0
+
+    def _group_of(
+        self, groups: list[frozenset[str]], endpoint: str
+    ) -> int | None:
+        for index, group in enumerate(groups):
+            if endpoint in group:
+                return index
+        return None
+
+    def blocks(self, source: str, target: str, now: float) -> bool:
+        """Whether a transfer between these endpoints is cut right now.
+
+        True iff some active scenario names both endpoints in different
+        groups.  Does not bump the counter — callers that actually drop a
+        message call :meth:`record_blocked`.
+        """
+        for groups, start, end in self._scenarios:
+            if not start <= now < end:
+                continue
+            src_group = self._group_of(groups, source)
+            dst_group = self._group_of(groups, target)
+            if src_group is None or dst_group is None:
+                continue
+            if src_group != dst_group:
+                return True
+        return False
+
+    def record_blocked(self, count: int = 1) -> None:
+        """Account ``count`` messages dropped at a partition boundary."""
+        self.blocked_messages += count
+
+    def heals_at(self) -> float:
+        """Virtual time when the last scripted partition heals."""
+        return max((end for _groups, _start, end in self._scenarios), default=0.0)

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from ..kernel.futures import Future
 from ..kernel.rng import RngRegistry
 from ..kernel.scheduler import Scheduler
-from .faults import NetworkFaultInjector
+from .faults import NetworkFaultInjector, PartitionInjector
 from .latency import ConstantLatency, LatencyModel, ZERO_LATENCY
 
 
@@ -33,6 +33,7 @@ class NetworkStats:
     remote_messages: int = 0
     lost_messages: int = 0
     duplicated_messages: int = 0
+    partitioned_messages: int = 0
     total_latency: float = 0.0
     per_endpoint_sent: dict[str, int] = field(default_factory=dict)
     # Envelope accounting: wire transfers actually performed.  Without
@@ -73,11 +74,22 @@ class Network:
         self._endpoints: set[str] = set()
         self._overrides: dict[tuple[str, str], LatencyModel] = {}
         self.faults: NetworkFaultInjector | None = None
+        self.partitions: PartitionInjector | None = None
         self.stats = NetworkStats()
 
     def inject_faults(self, injector: NetworkFaultInjector | None) -> None:
         """Attach (or, with None, detach) a chaos fault injector."""
         self.faults = injector
+
+    def inject_partitions(self, injector: PartitionInjector | None) -> None:
+        """Attach (or, with None, detach) a scripted partition injector."""
+        self.partitions = injector
+
+    def partitioned(self, source: str, target: str) -> bool:
+        """Whether a scripted partition currently cuts this directed pair."""
+        return self.partitions is not None and self.partitions.blocks(
+            source, target, self._scheduler.now
+        )
 
     def register(self, endpoint: str) -> None:
         """Add an endpoint; transfers to unknown endpoints are rejected."""
@@ -148,6 +160,11 @@ class Network:
             raise KeyError(f"unknown source endpoint {source!r}")
         if target not in self._endpoints:
             raise KeyError(f"unknown target endpoint {target!r}")
+        if self.partitioned(source, target):
+            self.partitions.record_blocked(count)
+            self.stats.partitioned_messages += count
+            self.stats.lost_messages += count
+            return None
         if self.faults is not None and self.faults.drops(
             source, target, self._scheduler.now
         ):
@@ -185,6 +202,9 @@ class Network:
         registry.register_probe("net.lost_messages", lambda: stats.lost_messages)
         registry.register_probe(
             "net.duplicated_messages", lambda: stats.duplicated_messages
+        )
+        registry.register_probe(
+            "net.partitioned_messages", lambda: stats.partitioned_messages
         )
         registry.register_probe("net.total_latency_seconds", lambda: stats.total_latency)
         registry.register_probe("net.envelopes", lambda: stats.envelopes)

@@ -316,6 +316,14 @@ def default_slo_rules(
             description="a silo is missing membership heartbeats",
         ),
         SloRule(
+            name="silo-quarantined",
+            metric="cluster.quarantined_silos",
+            op=">=",
+            threshold=1.0,
+            severity="critical",
+            description="a silo lost its membership lease and self-quarantined",
+        ),
+        SloRule(
             name="mailbox-backlog",
             metric="silo.mailbox_depth",
             aggregate="max",

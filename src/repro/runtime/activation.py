@@ -61,6 +61,10 @@ class Activation:
         self.closing = False
         self.closed = Event(runtime.scheduler)
         self.broken: BaseException | None = None
+        # Quarantine parking: set to the fault new messages should fail
+        # with while the hosting silo has lost its membership lease.  The
+        # activation is alive (unlike closing) but refuses work.
+        self.parked: BaseException | None = None
         self.active_chain: tuple[str, ...] = ()
         # Span of the turn currently executing, so sub-calls made through
         # ``context.actor(...)`` become its children (None when untraced).
@@ -87,6 +91,8 @@ class Activation:
         """
         if self.closing:
             raise ActorDeactivatedError(self.key.qualified())
+        if self.parked is not None:
+            raise self.parked
         if (
             not self.instance.reentrant
             and self._inflight > 0
@@ -141,6 +147,8 @@ class Activation:
                 self.key,
                 self.runtime.grain_storage,
                 writer=self.runtime.group_commit,
+                fence=self.runtime.acquire_fence(self),
+                journal=self.runtime.redo_journal,
             )
             load_started = self.runtime.scheduler.now
             await cell.load()
@@ -388,6 +396,19 @@ class Activation:
             self.cancel_timer(timer_name)
         self._fail_pending(fault)
         self.closed.set()
+
+    def park(self, fault: BaseException) -> None:
+        """Stop serving without tearing down (quarantine).
+
+        Queued and future messages fail with ``fault``; timers stop so the
+        parked actor does not keep flushing from the wrong side of a
+        partition.  The pump stays alive and ``closing`` stays False, so a
+        later :meth:`close` (silo shutdown) or :meth:`abort` still works.
+        """
+        self.parked = fault
+        for timer_name in list(self._timers):
+            self.cancel_timer(timer_name)
+        self._fail_pending(fault)
 
     async def close(self) -> None:
         """Gracefully stop: drain the mailbox, persist, run on_deactivate."""

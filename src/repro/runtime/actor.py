@@ -171,6 +171,17 @@ class Actor:
     async def receive_reminder(self, name: str) -> None:
         """Called when a durable reminder fires (override to use)."""
 
+    def snapshot_state(self) -> None:
+        """Serialize volatile in-memory structures into ``self.state``.
+
+        Durable actors that keep working state outside the state dict (ring
+        buffers, accumulators) normally serialize it in ``on_deactivate``.
+        Override this *synchronous* hook with that serialization instead
+        (and call it from ``on_deactivate``): the redo-journal pump and the
+        quarantine scram flush call it to capture a consistent document
+        mid-life, without running the full deactivation path.
+        """
+
     # -- persistence ----------------------------------------------------------
 
     def _attach_state_cell(self, cell: StateCell) -> None:

@@ -114,6 +114,36 @@ class RuntimeConfig:
     suspicion_grace: float = 5.0
     proactive_reactivation: bool = True
 
+    # -- partition tolerance ------------------------------------------------
+
+    # Epoch-fenced writes: every durable activation acquires a monotonic
+    # fence token from the system store at load time and stamps its flushes
+    # with it, so grain storage rejects a stale (minority-side zombie)
+    # writer with FencedWriteError instead of letting it clobber the
+    # successor's state.  Fencing needs the system store reachable at
+    # activation time; on by default because it is free in the common case.
+    enable_fencing: bool = True
+
+    # Write-ahead redo journal for INTERVAL/ON_DEACTIVATE actors: a per-silo
+    # pump snapshots dirty durable state every `redo_lag` virtual seconds
+    # into repro.storage.wal, bounding crash data loss to one lag window.
+    # 0.0 disables the journal (the paper's benchmarked configuration).
+    redo_lag: float = 0.0
+
+    # Quorum fraction of non-dead membership rows that must be active for
+    # the failure detector to commit an eviction (a view change).  At the
+    # default 0.5 a partition minority — which sees the majority's rows as
+    # suspected — can never evict the majority, while a 2-silo cluster with
+    # one crashed member still makes progress (1 of 2 meets the bar; the
+    # system store is the tiebreak, as in lease-based membership).
+    eviction_quorum: float = 0.5
+
+    # A silo that cannot refresh its membership lease (store partitioned
+    # away) self-quarantines once the lease lapses: it parks its mailboxes,
+    # fails asks fast with QuarantinedSiloError and scram-flushes dirty
+    # state, instead of limping as a zombie serving stale activations.
+    quarantine_on_lease_loss: bool = True
+
     # Master seed for all runtime randomness (placement, jitter).
     seed: int = 0
 
@@ -148,3 +178,7 @@ class RuntimeConfig:
             raise ValueError("failure_detection_interval must be positive")
         if self.suspicion_grace < 0:
             raise ValueError("suspicion_grace must be >= 0")
+        if self.redo_lag < 0:
+            raise ValueError("redo_lag must be >= 0")
+        if not 0.0 < self.eviction_quorum <= 1.0:
+            raise ValueError("eviction_quorum must be in (0, 1]")

@@ -23,6 +23,7 @@ from .key import ActorKey
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..storage.groupcommit import GroupCommitWriter
+    from ..storage.wal import RedoJournal
 
 
 class WritePolicy(enum.Enum):
@@ -48,6 +49,8 @@ class StateCell:
         key: ActorKey,
         store: KeyValueStore,
         writer: "GroupCommitWriter | None" = None,
+        fence: int | None = None,
+        journal: "RedoJournal | None" = None,
     ) -> None:
         self._key = key
         self._store = store
@@ -55,40 +58,82 @@ class StateCell:
         # of paying their own storage round trip.  Durability is identical —
         # flush() still returns only after the write landed.
         self._writer = writer
+        # Fence token acquired by this activation at load time; stamped on
+        # every flush so the store rejects writes from older activations.
+        self.fence = fence
+        # Optional redo journal: load() replays its fenced suffix so a
+        # crash between flushes loses at most one redo_lag window.
+        self._journal = journal
         self.document: dict[str, Any] = {}
         self._etag = 0
         self.dirty = False
         self.loads = 0
         self.flushes = 0
+        self.replayed = 0
+
+    @property
+    def etag(self) -> int:
+        """The etag this cell's next conditional write is based on."""
+        return self._etag
 
     async def load(self) -> bool:
-        """Read the document from storage; returns True if it existed."""
-        item = await self._store.try_get(self._key.storage_key())
+        """Read the document from storage; returns True if it existed.
+
+        With a fence, first raises the store's (and journal's) fence floor —
+        from this point a zombie predecessor's in-flight flush is rejected
+        even if it lands before this activation's first write.  With a
+        journal, the fenced redo suffix is then replayed over the loaded
+        document: the recovered state is dirty (it has not been flushed) but
+        no longer lost.
+        """
+        storage_key = self._key.storage_key()
+        if self.fence is not None:
+            await self._store.advance_fence(storage_key, self.fence)
+            if self._journal is not None:
+                self._journal.advance_fence(storage_key, self.fence)
+        item = await self._store.try_get(storage_key)
         self.loads += 1
         if item is None:
             self.document = {}
             self._etag = 0
-            self.dirty = False
-            return False
-        self.document = dict(item.value)
-        self._etag = item.etag
+        else:
+            self.document = dict(item.value)
+            self._etag = item.etag
         self.dirty = False
-        return True
+        if self._journal is not None:
+            record = self._journal.replay_for(storage_key, self._etag, self.fence)
+            if record is not None:
+                self.document = dict(record.document)
+                self.dirty = True
+                self.replayed += 1
+        return item is not None
 
-    async def flush(self) -> None:
-        """Write the document if dirty (no-op otherwise)."""
+    async def flush(self, *, direct: bool = False) -> None:
+        """Write the document if dirty (no-op otherwise).
+
+        ``direct=True`` bypasses the group-commit writer — used by the
+        quarantine "scram flush", which must not sit in a commit window
+        while the silo is being fenced off.
+        """
         if not self.dirty:
             return
-        if self._writer is not None:
+        storage_key = self._key.storage_key()
+        if self._writer is not None and not direct:
             self._etag = await self._writer.put(
-                self._key.storage_key(), self.document, expected_etag=self._etag
+                storage_key, self.document, expected_etag=self._etag, fence=self.fence
+            )
+        elif self.fence is not None:
+            self._etag = await self._store.fenced_put(
+                storage_key, self.document, expected_etag=self._etag, fence=self.fence
             )
         else:
             self._etag = await self._store.put(
-                self._key.storage_key(), self.document, expected_etag=self._etag
+                storage_key, self.document, expected_etag=self._etag
             )
         self.dirty = False
         self.flushes += 1
+        if self._journal is not None:
+            self._journal.truncate(storage_key)
 
     async def clear(self) -> None:
         """Delete the stored document (actor-level hard delete)."""

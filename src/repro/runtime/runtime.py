@@ -19,10 +19,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+import math
+
 from ..errors import (
+    ConditionalCheckFailedError,
     DeadlineExceededError,
     MailboxOverflowError,
+    QuarantinedSiloError,
     ReentrancyError,
+    ReproError,
     SiloUnavailableError,
     UnknownActorTypeError,
 )
@@ -38,18 +43,26 @@ from ..storage.groupcommit import GroupCommitWriter
 from ..storage.kv import InMemoryKVStore, KeyValueStore
 from ..storage.serde import snapshot
 from ..storage.system_store import SystemStore
+from ..storage.wal import RedoJournal
 from .activation import Activation
 from .actor import Actor
 from .config import RuntimeConfig
 from .directory import DirectoryCache, GrainDirectory
 from .key import ActorKey
 from .messages import DeliveryReceipt, Invocation
+from .persistence import WritePolicy
 from .placement import PinnedPlacement, build_strategies
 from .reference import ActorRef
 from .resilience import RetryPolicy
 from .silo import Silo
 
 CLIENT_ENDPOINT = "client"
+# Pseudo network endpoint standing in for cluster system storage: never
+# registered with the Network (the store is not message-routed), but a
+# PartitionInjector may name it in a group to model silos losing sight of
+# the membership table.  The runtime consults the injector directly for
+# lease refreshes and fence acquisition.
+SYSTEM_STORE_ENDPOINT = "system-store"
 
 
 @dataclass
@@ -74,6 +87,11 @@ class RuntimeStats:
     silos_suspected: int = 0
     silos_evicted: int = 0
     activations_replaced: int = 0
+    # Partition-tolerance counters: silos that parked themselves after
+    # losing their membership lease, and silos that re-announced (with a
+    # fresh epoch) after the partition healed.
+    silos_quarantined: int = 0
+    silos_rejoined: int = 0
     # Elasticity counters: completed live migrations, migrations that could
     # not run (missing/closing activation, bad target), and graceful drains.
     migrations: int = 0
@@ -150,6 +168,10 @@ class AodbRuntime:
         self._failure_detector_task: Task | None = None
         self._suspected: set[str] = set()
         self._heartbeats: dict[str, Task] = {}
+        # Write-ahead redo journal + per-silo pumps (None/empty while
+        # config.redo_lag == 0, the paper's benchmarked configuration).
+        self.redo_journal: RedoJournal | None = None
+        self._redo_pumps: dict[str, Task] = {}
         self._reminder_due: dict[tuple[str, str], float] = {}
         self._stopped = False
         # Set by AodbDatabase when database features are layered on top.
@@ -161,10 +183,19 @@ class AodbRuntime:
         register = getattr(self.grain_storage, "register_metrics", None)
         if register is not None:
             register(self.metrics)
+        else:
+            # Stores with their own register_metrics export this themselves;
+            # plain stores still need the split-brain rejection counter.
+            self.metrics.register_probe(
+                "storage.fenced_writes",
+                lambda: getattr(self.grain_storage, "fenced_writes", 0),
+            )
         if self.group_commit is not None:
             self.group_commit.register_metrics(self.metrics)
         self._register_runtime_metrics()
         self.profiler.register_metrics(self.metrics)
+        if self.config.redo_lag > 0:
+            self.enable_redo_journal()
         # End-to-end ask latency feeds the p99 SLO rule; observed only on
         # profiled runs so the unprofiled reply path stays untouched.
         self._ask_latency = self.metrics.histogram("runtime.ask_latency_seconds")
@@ -185,6 +216,7 @@ class AodbRuntime:
             "activations_crashed", "activation_failures",
             "reminders_delivered", "calls_retried", "deadlines_exceeded",
             "silos_suspected", "silos_evicted", "activations_replaced",
+            "silos_quarantined", "silos_rejoined",
             "migrations", "migration_failures", "silos_drained",
         ):
             registry.register_probe(
@@ -237,6 +269,13 @@ class AodbRuntime:
         registry.register_probe(
             "elastic.silos_draining",
             lambda: sum(1 for s in self._silos.values() if s.draining),
+        )
+        registry.register_probe(
+            "cluster.quarantined_silos",
+            lambda: sum(1 for s in self._silos.values() if s.quarantined),
+        )
+        registry.register_probe(
+            "cluster.membership_epoch", lambda: self.system_store.epoch
         )
         registry.register_probe("cluster.cpu_imbalance", self.cpu_imbalance)
 
@@ -314,6 +353,10 @@ class AodbRuntime:
         self._heartbeats[silo_id] = self.scheduler.spawn(
             self._heartbeat_loop(silo_id), name=f"heartbeat:{silo_id}"
         )
+        if self.redo_journal is not None and silo_id not in self._redo_pumps:
+            self._redo_pumps[silo_id] = self.scheduler.spawn(
+                self._redo_pump(silo_id), name=f"redo-pump:{silo_id}"
+            )
         self.metrics.register_probe(
             "silo.mailbox_depth", silo.mailbox_backlog, silo=silo_id
         )
@@ -327,12 +370,43 @@ class AodbRuntime:
 
     async def _heartbeat_loop(self, silo_id: str) -> None:
         # Keep the membership lease fresh while the silo lives, as Orleans
-        # silos do against their system store.
+        # silos do against their system store.  The loop also carries the
+        # silo-local half of the partition-tolerance protocol: when the
+        # store is unreachable the silo tracks its own lease expiry and
+        # self-quarantines once it can no longer prove membership, and when
+        # the store comes back it either refreshes (lease still held),
+        # rejoins (quarantined, or its row was evicted meanwhile) or keeps
+        # serving as if nothing happened.
         interval = self.system_store.lease_seconds / 3
+        lease_until = self.scheduler.now + self.system_store.lease_seconds
         while silo_id in self._silos:
             await self.scheduler.sleep(interval)
-            if silo_id in self._silos:
-                self.system_store.refresh_lease(silo_id)
+            silo = self._silos.get(silo_id)
+            if silo is None:
+                return
+            if silo.crashed:
+                continue
+            if self._store_reachable(silo_id):
+                if silo.quarantined:
+                    self.rejoin_silo(silo_id)
+                    lease_until = (
+                        self.scheduler.now + self.system_store.lease_seconds
+                    )
+                    continue
+                try:
+                    self.system_store.refresh_lease(silo_id)
+                except SiloUnavailableError:
+                    # Our row went dead while we could not see the table
+                    # (evicted behind our back): the lease is gone for good,
+                    # only a fresh announce readmits us.
+                    self.rejoin_silo(silo_id)
+                lease_until = self.scheduler.now + self.system_store.lease_seconds
+            elif (
+                self.config.quarantine_on_lease_loss
+                and not silo.quarantined
+                and self.scheduler.now >= lease_until
+            ):
+                await self.quarantine_silo(silo_id)
 
     def silo(self, silo_id: str) -> Silo:
         """The silo object for ``silo_id`` (raises if unknown)."""
@@ -366,6 +440,7 @@ class AodbRuntime:
         heartbeat = self._heartbeats.pop(silo_id, None)
         if heartbeat is not None:
             heartbeat.cancel()
+        self._cancel_redo_pump(silo_id)
         return count
 
     def crash_silo(self, silo_id: str, *, detected: bool = True) -> int:
@@ -399,6 +474,7 @@ class AodbRuntime:
         heartbeat = self._heartbeats.pop(silo_id, None)
         if heartbeat is not None:
             heartbeat.cancel()
+        self._cancel_redo_pump(silo_id)
         if detected:
             self.system_store.retire(silo_id)
             self.network.unregister(silo_id)
@@ -408,6 +484,178 @@ class AodbRuntime:
             silo.crashed = True
         return lost
 
+    # -- partition tolerance -------------------------------------------------------
+
+    def _store_reachable(self, silo_id: str) -> bool:
+        """Whether ``silo_id`` can currently reach cluster system storage.
+
+        The system store is not a network endpoint, so reachability is
+        decided by asking the partition injector about the pseudo-endpoint
+        ``SYSTEM_STORE_ENDPOINT`` directly.  With no injector attached the
+        store is always reachable.
+        """
+        return not self.network.partitioned(silo_id, SYSTEM_STORE_ENDPOINT)
+
+    def acquire_fence(self, activation: Activation) -> int | None:
+        """Issue a fence token for one activation's storage key.
+
+        Returns None when fencing is disabled.  Acquiring a fence is a
+        system-store round trip, so a silo that cannot reach the store (or
+        is quarantined) cannot activate durable grains — which is exactly
+        the guarantee that makes the token worth carrying.
+        """
+        if not self.config.enable_fencing:
+            return None
+        silo = activation.silo
+        if silo.quarantined or not self._store_reachable(silo.silo_id):
+            raise SiloUnavailableError(
+                f"silo {silo.silo_id!r} cannot reach the system store to "
+                f"acquire a fence for {activation.key.qualified()}"
+            )
+        return self.system_store.acquire_fence(activation.key.storage_key())
+
+    async def quarantine_silo(self, silo_id: str) -> int:
+        """Self-quarantine a silo that lost its membership lease.
+
+        Every live activation is *parked* — queued and future messages fail
+        fast with :class:`~repro.errors.QuarantinedSiloError` (retryable, so
+        callers land on the successor placement) — and dirty durable state
+        is scram-flushed directly (bypassing group commit).  Grain storage
+        is assumed reachable from both sides of a silo-fabric partition
+        (the DynamoDB deployment the paper describes); the fence tokens on
+        those flushes are what keeps them safe: any state a successor has
+        already taken over is rejected with ``FencedWriteError`` instead of
+        being clobbered.  Returns the number of activations parked.
+        """
+        silo = self._silos.get(silo_id)
+        if silo is None or silo.quarantined or silo.crashed:
+            return 0
+        silo.quarantined = True
+        self.stats.silos_quarantined += 1
+        fault = QuarantinedSiloError(
+            f"silo {silo_id!r} lost its membership lease and is quarantined"
+        )
+        parked = 0
+        for activation in silo.activations():
+            if activation.closing:
+                continue
+            activation.park(fault)
+            parked += 1
+        for activation in silo.activations():
+            cell = activation.instance._state_cell
+            if cell is None:
+                continue
+            try:
+                activation.instance.snapshot_state()
+                if cell.dirty:
+                    await cell.flush(direct=True)
+            except ReproError:
+                # Fenced/conflicted/throttled: the successor (or the redo
+                # journal) owns this state now; losing the scram write is
+                # the safe outcome.
+                continue
+        return parked
+
+    def rejoin_silo(self, silo_id: str) -> bool:
+        """Re-admit a silo after a partition heals.
+
+        Stale activations (parked during quarantine, or zombies that kept
+        serving when ``quarantine_on_lease_loss`` is off) are aborted — the
+        majority side re-placed those grains long ago, so this side's
+        incarnations are history, their unflushed effects covered by the
+        scram flush and the fence floors.  The silo then re-announces,
+        which bumps the membership epoch and grants a fresh lease.
+        """
+        silo = self._silos.get(silo_id)
+        if silo is None or silo.crashed:
+            return False
+        fault = SiloUnavailableError(
+            f"silo {silo_id!r} is rejoining after a partition"
+        )
+        for activation in silo.activations():
+            activation.abort(fault)
+            silo.remove_activation(activation.key)
+            if self.directory.lookup(activation.key) == silo_id:
+                self.directory.unregister(activation.key)
+        silo.quarantined = False
+        if not self.network.knows(silo_id):
+            self.network.register(silo_id)
+        self.system_store.announce(silo_id, instance_type=silo.instance_type)
+        self._suspected.discard(silo_id)
+        self.stats.silos_rejoined += 1
+        return True
+
+    # -- write-ahead redo journal --------------------------------------------------
+
+    def enable_redo_journal(self, redo_lag: float | None = None) -> RedoJournal:
+        """Create (or retrofit) the WAL and start per-silo redo pumps.
+
+        Called automatically from ``__init__`` when ``config.redo_lag > 0``;
+        callable later for deployments that decide after construction.
+        """
+        if redo_lag is not None:
+            self.config.redo_lag = redo_lag
+        if self.config.redo_lag <= 0:
+            raise ValueError("redo_lag must be positive to enable the redo journal")
+        if self.redo_journal is None:
+            self.redo_journal = RedoJournal(
+                self.scheduler,
+                store=self.grain_storage,
+                writer=self.group_commit,
+            )
+            self.redo_journal.register_metrics(self.metrics)
+        for silo_id in self._silos:
+            if silo_id not in self._redo_pumps:
+                self._redo_pumps[silo_id] = self.scheduler.spawn(
+                    self._redo_pump(silo_id), name=f"redo-pump:{silo_id}"
+                )
+        return self.redo_journal
+
+    def _cancel_redo_pump(self, silo_id: str) -> None:
+        pump = self._redo_pumps.pop(silo_id, None)
+        if pump is not None:
+            pump.cancel()
+
+    async def _redo_pump(self, silo_id: str) -> None:
+        # Every redo_lag window, journal the dirty state of lazily-flushed
+        # durable actors (INTERVAL / ON_DEACTIVATE): a crash then loses at
+        # most one window of acknowledged work instead of everything since
+        # the last flush.  WRITE_THROUGH/MANUAL actors are skipped — the
+        # former are already durable per ack, the latter opted out.
+        lazy = (WritePolicy.INTERVAL, WritePolicy.ON_DEACTIVATE)
+        while silo_id in self._silos:
+            await self.scheduler.sleep(self.config.redo_lag)
+            silo = self._silos.get(silo_id)
+            if silo is None or self.redo_journal is None or silo.crashed:
+                return
+            if silo.quarantined:
+                continue
+            for activation in silo.activations():
+                if (
+                    activation.closing
+                    or activation.parked is not None
+                    or activation.broken is not None
+                ):
+                    continue
+                cell = activation.instance._state_cell
+                if cell is None or activation.actor_class.write_policy not in lazy:
+                    continue
+                try:
+                    activation.instance.snapshot_state()
+                except Exception:  # noqa: BLE001 - actor bug must not kill pump
+                    continue
+                if not cell.dirty:
+                    continue
+                try:
+                    await self.redo_journal.append(
+                        activation.key.storage_key(),
+                        cell.document,
+                        base_etag=cell.etag,
+                        fence=cell.fence,
+                    )
+                except Exception:  # noqa: BLE001 - journal write best-effort
+                    continue
+
     def _silo_load(self, silo_id: str) -> tuple[float, float]:
         """A comparable load sample for placement probes (lower = idler).
 
@@ -416,7 +664,7 @@ class AodbRuntime:
         load-aware probe never prefers them.
         """
         silo = self._silos.get(silo_id)
-        if silo is None or silo.crashed:
+        if silo is None or silo.crashed or silo.quarantined:
             return (float("inf"), float("inf"))
         return (float(silo.mailbox_backlog()), float(silo.activation_count))
 
@@ -829,7 +1077,7 @@ class AodbRuntime:
                 # entry and takes the authoritative path below, so crash and
                 # repair semantics are identical with and without the cache.
                 silo = self._silos.get(cached)
-                if silo is not None and not silo.crashed:
+                if silo is not None and not silo.crashed and not silo.quarantined:
                     activation = silo.get_activation(key)
                     if activation is not None and not activation.closing:
                         cache.stats.hits += 1
@@ -840,7 +1088,7 @@ class AodbRuntime:
         predecessor = None
         if silo_id is not None:
             silo = self._silos.get(silo_id)
-            if silo is not None and silo.crashed:
+            if silo is not None and (silo.crashed or silo.quarantined):
                 if self.system_store.status_of(silo_id) == "active":
                     # The cluster still believes the silo is alive, so the
                     # registration is authoritative: the call goes to a dead
@@ -850,9 +1098,12 @@ class AodbRuntime:
                         f"silo {silo_id!r} is not responding"
                     )
                 # Membership no longer vouches for the silo: the entry is
-                # stale, repair it and re-place on a surviving silo.
+                # stale, repair it and re-place on a surviving silo.  A
+                # quarantined silo keeps its (parked) catalog entry — the
+                # rejoin path aborts it; only a crash empties the catalog.
                 self.directory.unregister(key)
-                silo.remove_activation(key)
+                if silo.crashed:
+                    silo.remove_activation(key)
             else:
                 activation = silo.get_activation(key) if silo is not None else None
                 if activation is not None and not activation.closing:
@@ -893,7 +1144,7 @@ class AodbRuntime:
             "placement.decisions", strategy=strategy_name, silo=silo_id
         ).inc()
         silo = self._silos[silo_id]
-        if silo.crashed:
+        if silo.crashed or silo.quarantined:
             # Membership hasn't noticed the crash yet, so placement can
             # still pick the dead silo — the call fails like a connection
             # to a dead host would.
@@ -928,6 +1179,11 @@ class AodbRuntime:
 
     async def _deliver(self, invocation: Invocation) -> None:
         while True:
+            if invocation.reply is not None and invocation.reply.done():
+                # A deadline (or chaos) already resolved the caller's
+                # future; re-delivering would execute an abandoned request
+                # on the successor activation after a partition repair.
+                return
             try:
                 activation = self._resolve_activation(
                     invocation.target, invocation.caller_endpoint
@@ -974,6 +1230,12 @@ class AodbRuntime:
                 return
             except ReentrancyError as exc:
                 # A would-be deadlock: fail the caller instead of hanging.
+                self._fail_invocation(invocation, exc)
+                return
+            except QuarantinedSiloError as exc:
+                # Parked activation on a leaseless silo: fail fast (the
+                # error is retryable) rather than wait on a closed event a
+                # parked-but-alive activation never sets.
                 self._fail_invocation(invocation, exc)
                 return
             except Exception:  # activation started closing during transfer
@@ -1143,39 +1405,93 @@ class AodbRuntime:
         ``config.proactive_reactivation`` is on) their actors re-placed on
         surviving silos ahead of demand, recovering persisted state.
         Returns the ids of the silos evicted by this pass.
+
+        Eviction is a *view change*, and two safeguards keep it from being
+        unilateral: (1) a **quorum gate** — at least
+        ``ceil(members * eviction_quorum)`` of the non-dead membership rows
+        must still be active, so the suspected minority of a partition can
+        never evict the majority (the system store itself is the tiebreak,
+        as in lease-based membership protocols); (2) an **epoch CAS** — the
+        retirement is conditional on the membership epoch observed when the
+        decision was made, so racing view changes resolve deterministically
+        instead of compounding.
         """
         now = self.scheduler.now
         evicted: list[str] = []
-        for entry in self.system_store.members():
+        members = [
+            entry
+            for entry in self.system_store.members()
+            if self.system_store.status_of(entry.silo_id) != "dead"
+        ]
+        required = max(1, math.ceil(len(members) * self.config.eviction_quorum))
+        for entry in members:
             status = self.system_store.status_of(entry.silo_id)
             if status == "active":
                 self._suspected.discard(entry.silo_id)
                 continue
-            if status == "dead":
-                continue
             if entry.silo_id not in self._suspected:
                 self._suspected.add(entry.silo_id)
                 self.stats.silos_suspected += 1
-            if now >= entry.lease_expires_at + self.config.suspicion_grace:
-                self._evict_silo(entry.silo_id)
-                evicted.append(entry.silo_id)
+            if now < entry.lease_expires_at + self.config.suspicion_grace:
+                continue
+            active = sum(
+                1
+                for candidate in members
+                if self.system_store.status_of(candidate.silo_id) == "active"
+            )
+            if active < required:
+                # No quorum of live voters behind this view change: leave
+                # the row suspected.  This is the branch that stops a
+                # store-isolated minority from evicting the world.
+                continue
+            expected_epoch = self.system_store.epoch
+            try:
+                self.system_store.retire(entry.silo_id, expected_epoch=expected_epoch)
+            except ConditionalCheckFailedError:
+                # A concurrent view change won the CAS; re-decide next pass
+                # against the fresh view.
+                continue
+            self._evict_silo(entry.silo_id)
+            evicted.append(entry.silo_id)
         return evicted
 
     def _evict_silo(self, silo_id: str) -> None:
-        """Declare a suspected silo dead and repair the cluster around it."""
+        """Declare a suspected silo dead and repair the cluster around it.
+
+        Two shapes of eviction:
+
+        - the silo is *gone* (crashed, or its object already removed):
+          full teardown — abort activations, cancel services, unregister
+          the endpoint;
+        - the silo is *alive but partitioned* (a would-be zombie): the
+          cluster cannot reach into it, so only the cluster-side view is
+          repaired — membership retired, directory purged, grains re-placed.
+          The zombie keeps running on its side of the split; its lease loss
+          makes it self-quarantine (or, with quarantine off, its stale
+          flushes bounce off the storage fence floors), and its heartbeat
+          loop re-announces it when the partition heals.
+        """
         fault = SiloUnavailableError(f"silo {silo_id!r} declared dead")
         registered = self.directory.entries_on(silo_id)
-        silo = self._silos.pop(silo_id, None)
-        if silo is not None:
-            for activation in silo.activations():
-                activation.abort(fault)
-                silo.remove_activation(activation.key)
-                self.stats.activations_crashed += 1
-            heartbeat = self._heartbeats.pop(silo_id, None)
-            if heartbeat is not None:
-                heartbeat.cancel()
-            self.network.unregister(silo_id)
-            self.metrics.unregister_probes(silo=silo_id)
+        silo = self._silos.get(silo_id)
+        zombie = (
+            silo is not None
+            and not silo.crashed
+            and (silo.quarantined or not self._store_reachable(silo_id))
+        )
+        if not zombie:
+            silo = self._silos.pop(silo_id, None)
+            if silo is not None:
+                for activation in silo.activations():
+                    activation.abort(fault)
+                    silo.remove_activation(activation.key)
+                    self.stats.activations_crashed += 1
+                heartbeat = self._heartbeats.pop(silo_id, None)
+                if heartbeat is not None:
+                    heartbeat.cancel()
+                self._cancel_redo_pump(silo_id)
+                self.network.unregister(silo_id)
+                self.metrics.unregister_probes(silo=silo_id)
         self.system_store.retire(silo_id)
         for key in registered:
             if self.directory.lookup(key) == silo_id:

@@ -43,6 +43,11 @@ class Silo:
         # is gone but membership still lists it until its lease lapses and
         # the failure detector evicts it.  Messages routed here fail fast.
         self.crashed = False
+        # Self-quarantine: the silo lost its membership lease (partitioned
+        # from the system store) and parked its mailboxes.  Unlike a crash
+        # the process is alive — it heartbeats, scram-flushes state and
+        # rejoins with a fresh announce once the partition heals.
+        self.quarantined = False
 
     # -- catalog -----------------------------------------------------------------
 

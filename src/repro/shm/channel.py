@@ -42,12 +42,18 @@ class _ChannelBase(Actor):
         super().__init__(context)
         self.window = DataWindow(DEFAULT_WINDOW_CAPACITY)
         self.change = AccumulatedChange()
+        # High-water mark of stored timestamps, used by the optional
+        # duplicate filter; restored from the persisted window on activate.
+        self._last_ts = float("-inf")
 
     async def on_activate(self):
         window_capacity = self.state.get("window_capacity", DEFAULT_WINDOW_CAPACITY)
         self.window = DataWindow(window_capacity)
         for timestamp, value in self.state.get("window", ()):
             self.window.append(DataPoint(timestamp, value))
+        latest = self.window.latest()
+        if latest is not None:
+            self._last_ts = latest.timestamp
         change = self.state.get("change")
         if change:
             self.change.first_value = change["first"]
@@ -55,10 +61,18 @@ class _ChannelBase(Actor):
             self.change.total = change["total"]
             self.change.count = change["count"]
 
-    async def on_deactivate(self):
+    def snapshot_state(self) -> None:
+        """Serialize the live window into the state document.
+
+        Shared by deactivation, the redo-journal pump, and the quarantine
+        scram flush (see :meth:`repro.runtime.actor.Actor.snapshot_state`).
+        """
         self.state["window"] = [p.as_tuple() for p in self.window.all_points()]
         self.state["change"] = self.change.snapshot()
         self.mark_dirty()
+
+    async def on_deactivate(self):
+        self.snapshot_state()
 
     def _store_points(self, points: list[tuple[float, float]]) -> int:
         """Append readings to the window; archive evicted ones."""
@@ -66,6 +80,8 @@ class _ChannelBase(Actor):
         for timestamp, value in points:
             evicted.extend(self.window.append(DataPoint(timestamp, value)))
             self.change.observe(value)
+            if timestamp > self._last_ts:
+                self._last_ts = timestamp
         if evicted:
             archive = getattr(self.context.runtime, "archive", None)
             if archive is not None:
@@ -114,12 +130,15 @@ class PhysicalSensorChannel(_ChannelBase):
         alert_rules: list[dict] | None = None,
         subscribers: list[str] | None = None,
         aggregator_id: str | None = None,
+        dedup: bool = False,
     ) -> dict:
         """Provision the channel.
 
         ``subscribers`` are virtual-channel actor ids that receive a copy of
         every ingested batch; ``aggregator_id`` optionally routes points to
-        an hourly aggregator.
+        an hourly aggregator.  With ``dedup`` the channel drops readings at
+        or below its stored high-water timestamp, making ingestion
+        idempotent under at-least-once delivery (duplicated messages).
         """
         self.state["org_id"] = org_id
         self.state["sensor_id"] = sensor_id
@@ -128,6 +147,7 @@ class PhysicalSensorChannel(_ChannelBase):
         self.state["alert_rules"] = list(alert_rules or ())
         self.state["subscribers"] = list(subscribers or ())
         self.state["aggregator_id"] = aggregator_id
+        self.state["dedup"] = dedup
         self.state["last_alert_at"] = {}
         self.mark_dirty()
         self.window = DataWindow(window_capacity)
@@ -147,6 +167,10 @@ class PhysicalSensorChannel(_ChannelBase):
         virtual channels and the aggregator (if any) — one-way because the
         derived streams are eventually consistent with the raw stream.
         """
+        if self.state.get("dedup"):
+            points = [p for p in points if p[0] > self._last_ts]
+            if not points:
+                return 0
         stored = self._store_points(points)
         if self.state.get("alert_rules"):
             self._check_alerts(points)

@@ -77,11 +77,17 @@ class ShmPlatform:
         window_capacity: int = DEFAULT_WINDOW_CAPACITY,
         enable_aggregation: bool = True,
         archive: ArchiveLog | None = None,
+        dedup_ingest: bool = False,
     ) -> None:
         self.db = database
         self.runtime = database.runtime
         self.window_capacity = window_capacity
         self.enable_aggregation = enable_aggregation
+        # Idempotent ingestion: sensors keep per-channel timestamp
+        # watermarks and channels drop non-monotonic readings, so duplicated
+        # deliveries (chaos duplication, at-least-once retries) do not
+        # inflate stored counts.
+        self.dedup_ingest = dedup_ingest
         self.archive = archive if archive is not None else ArchiveLog()
         # Channels archive evicted window points through this hook.
         self.runtime.archive = self.archive
@@ -122,6 +128,7 @@ class ShmPlatform:
                 "window_capacity": self.window_capacity,
                 "alert_rules": list(alert_rules or ()),
                 "subscribers": [virtual_id] if virtual_id else [],
+                "dedup": self.dedup_ingest,
             }
             if self.enable_aggregation:
                 config["aggregator_id"] = aggregator_id_for(channel_id, "hour")
@@ -143,6 +150,7 @@ class ShmPlatform:
             channel_configs,
             virtual_channel_config=virtual_config,
             position=position,
+            dedup_ingest=self.dedup_ingest,
         )
         if self.enable_aggregation:
             all_channel_ids = channel_ids + ([virtual_id] if virtual_id else [])

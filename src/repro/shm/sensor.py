@@ -27,6 +27,7 @@ class Sensor(Actor):
         channel_configs: list[dict],
         virtual_channel_config: dict | None = None,
         position: tuple[float, float] | None = None,
+        dedup_ingest: bool = False,
     ) -> dict:
         """Provision this sensor and configure its channel actors.
 
@@ -35,10 +36,15 @@ class Sensor(Actor):
         :meth:`~repro.shm.channel.PhysicalSensorChannel.configure`.  Routing
         channel configuration through the sensor matters: with prefer-local
         placement the channels activate on the sensor's silo.
+
+        With ``dedup_ingest`` the sensor keeps a per-channel timestamp
+        watermark and drops already-seen readings before fanning out, so a
+        duplicated insert request is acknowledged without re-storing.
         """
         self.state["org_id"] = org_id
         self.state["sensor_type"] = sensor_type
         self.state["position"] = position
+        self.state["dedup_ingest"] = dedup_ingest
         self.state["channel_ids"] = [c["channel_id"] for c in channel_configs]
         self.state["virtual_channel_id"] = (
             virtual_channel_config["channel_id"] if virtual_channel_config else None
@@ -86,6 +92,21 @@ class Sensor(Actor):
             raise UnknownEntityError(
                 f"sensor {self.actor_id}: unknown channels {sorted(unknown)}"
             )
+        if self.state.get("dedup_ingest"):
+            watermarks = self.state.setdefault("ingest_watermark", {})
+            fresh_batches: dict[str, list[tuple[float, float]]] = {}
+            for channel_id, points in batches.items():
+                mark = watermarks.get(channel_id)
+                fresh = [
+                    p for p in points if mark is None or p[0] > mark
+                ]
+                if fresh:
+                    watermarks[channel_id] = max(p[0] for p in fresh)
+                    fresh_batches[channel_id] = fresh
+            self.mark_dirty()
+            batches = fresh_batches
+            if not batches:
+                return 0
         futures = [
             self.context.actor("PhysicalSensorChannel", channel_id).ask(
                 "ingest", points

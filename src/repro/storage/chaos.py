@@ -107,6 +107,40 @@ class ChaosKVStore(KeyValueStore):
         self._check("write")
         return await self._inner.put(key, value, expected_etag)
 
+    async def put_many(
+        self, entries: list[tuple[str, Any, int | None]]
+    ) -> list[int | BaseException]:
+        """Batched writes roll the fault dice once, like the round trip they
+        share: a throttle window or injected fault fails the *whole* batch
+        (every group-commit ticket), matching a lost ``BatchWriteItem``."""
+        self._check("write")
+        return await self._inner.put_many(entries)
+
+    async def fenced_put(
+        self,
+        key: str,
+        value: Any,
+        expected_etag: int | None = None,
+        fence: int | None = None,
+    ) -> int:
+        self._check("write")
+        return await self._inner.fenced_put(key, value, expected_etag, fence)
+
+    async def fenced_put_many(
+        self, entries: list[tuple[str, Any, int | None, int | None]]
+    ) -> list[int | BaseException]:
+        self._check("write")
+        return await self._inner.fenced_put_many(entries)
+
+    async def advance_fence(self, key: str, fence: int | None) -> None:
+        # Fence-floor advancement is control-plane metadata; chaos windows
+        # target data-plane round trips, so it passes through unfaulted.
+        await self._inner.advance_fence(key, fence)
+
+    @property
+    def fenced_writes(self) -> int:
+        return self._inner.fenced_writes
+
     async def delete(self, key: str) -> bool:
         self._check("write")
         return await self._inner.delete(key)

@@ -153,6 +153,45 @@ class ProvisionedKVStore(KeyValueStore):
                 results.append(exc)
         return results
 
+    async def fenced_put(
+        self,
+        key: str,
+        value: Any,
+        expected_etag: int | None = None,
+        fence: int | None = None,
+    ) -> int:
+        await self._charge(self._write_bucket, self._write_units(value), "write")
+        await self._network_round_trip()
+        return await self._inner.fenced_put(key, value, expected_etag, fence)
+
+    async def fenced_put_many(
+        self, entries: list[tuple[str, Any, int | None, int | None]]
+    ) -> list[int | BaseException]:
+        """Fenced batch: capacity/latency as :meth:`put_many`, fences checked
+        per entry in the backing store (isolated, like conditional checks)."""
+        if not entries:
+            return []
+        units = sum(self._write_units(value) for _key, value, _etag, _f in entries)
+        await self._charge(self._write_bucket, units, "write")
+        await self._network_round_trip()
+        self.write_batches += 1
+        if len(entries) > 1:
+            self.batched_round_trips_saved += len(entries) - 1
+        results: list[int | BaseException] = []
+        for key, value, expected_etag, fence in entries:
+            try:
+                results.append(
+                    await self._inner.fenced_put(key, value, expected_etag, fence)
+                )
+            except Exception as exc:  # noqa: BLE001 - isolated per entry
+                results.append(exc)
+        return results
+
+    async def advance_fence(self, key: str, fence: int | None) -> None:
+        # Fence metadata is a control-plane CAS against the item's attribute,
+        # not a document write: no capacity units, no round trip charged.
+        await self._inner.advance_fence(key, fence)
+
     async def delete(self, key: str) -> bool:
         await self._charge(self._write_bucket, 1.0, "write")
         await self._network_round_trip()
@@ -201,6 +240,9 @@ class ProvisionedKVStore(KeyValueStore):
             lambda: self.batched_round_trips_saved,
             **labels,
         )
+        registry.register_probe(
+            "storage.fenced_writes", lambda: self.fenced_writes, **labels
+        )
 
     @property
     def reads(self) -> int:
@@ -211,6 +253,11 @@ class ProvisionedKVStore(KeyValueStore):
     def writes(self) -> int:
         """Successful writes against the backing store."""
         return self._inner.writes
+
+    @property
+    def fenced_writes(self) -> int:
+        """Stale writes rejected by the backing store's fence floors."""
+        return self._inner.fenced_writes
 
     def __len__(self) -> int:
         return len(self._inner)

@@ -42,7 +42,7 @@ class GroupCommitWriter:
         self.scheduler = scheduler
         self.max_batch = max_batch
         self.max_delay = max_delay
-        self._pending: list[tuple[str, Any, int | None, Future[int]]] = []
+        self._pending: list[tuple[str, Any, int | None, int | None, Future[int]]] = []
         self._window_open = False
         self.batches = 0
         self.batched_writes = 0
@@ -50,16 +50,21 @@ class GroupCommitWriter:
         self.round_trips_saved = 0
 
     def put(
-        self, key: str, value: Any, expected_etag: int | None = None
+        self,
+        key: str,
+        value: Any,
+        expected_etag: int | None = None,
+        fence: int | None = None,
     ) -> Future[int]:
         """Join the open commit window; resolves with the new etag.
 
         The returned future rejects with the entry's own error on a
-        conditional-check conflict, or with the batch's error when the
-        whole round trip failed (e.g. storage throttling).
+        conditional-check conflict (or a stale ``fence`` rejected by the
+        store), or with the batch's error when the whole round trip failed
+        (e.g. storage throttling).
         """
         ticket: Future[int] = Future(f"groupcommit:{key}")
-        self._pending.append((key, value, expected_etag, ticket))
+        self._pending.append((key, value, expected_etag, fence, ticket))
         if len(self._pending) >= self.max_batch:
             batch = self._pending
             self._pending = []
@@ -84,7 +89,7 @@ class GroupCommitWriter:
             await self._flush(batch)
 
     async def _flush(
-        self, batch: list[tuple[str, Any, int | None, Future[int]]]
+        self, batch: list[tuple[str, Any, int | None, int | None, Future[int]]]
     ) -> None:
         self.batches += 1
         size = len(batch)
@@ -92,15 +97,21 @@ class GroupCommitWriter:
         if size > 1:
             self.batched_writes += size
             self.round_trips_saved += size - 1
-        entries = [(key, value, etag) for key, value, etag, _ticket in batch]
         try:
-            results = await self.store.put_many(entries)
+            if any(fence is not None for _k, _v, _e, fence, _t in batch):
+                results = await self.store.fenced_put_many(
+                    [(key, value, etag, fence) for key, value, etag, fence, _t in batch]
+                )
+            else:
+                results = await self.store.put_many(
+                    [(key, value, etag) for key, value, etag, _fence, _t in batch]
+                )
         except BaseException as exc:  # noqa: BLE001 - whole-batch failure
-            for _key, _value, _etag, ticket in batch:
+            for *_entry, ticket in batch:
                 if not ticket.done():
                     ticket.set_exception(exc)
             return
-        for (_key, _value, _etag, ticket), result in zip(batch, results):
+        for (*_entry, ticket), result in zip(batch, results):
             if ticket.done():
                 continue
             if isinstance(result, BaseException):

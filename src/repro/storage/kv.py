@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable
 
-from ..errors import ConditionalCheckFailedError, KeyNotFoundError
+from ..errors import ConditionalCheckFailedError, FencedWriteError, KeyNotFoundError
 from .serde import snapshot
 
 
@@ -82,6 +82,70 @@ class KeyValueStore:
     async def scan(self, prefix: str = "") -> list[tuple[str, Item]]:
         """Return all (key, item) pairs whose key starts with ``prefix``."""
         raise NotImplementedError
+
+    # -- fenced writes -------------------------------------------------------
+    #
+    # Fence tokens (monotonic per grain, issued by the membership store)
+    # piggyback on conditional writes: the store remembers the highest fence
+    # admitted per key and rejects anything older with FencedWriteError.
+    # The fence check lives in a *separate* commit API rather than a ``put``
+    # kwarg so that existing KeyValueStore subclasses — including test fakes
+    # that override ``put`` — keep working unmodified: ``fenced_put`` admits
+    # the fence, then delegates to whatever ``put`` the subclass provides.
+
+    fenced_writes = 0  # stale writes rejected; shadowed per instance on first use
+
+    def _admit_fence(self, key: str, fence: int | None) -> None:
+        """Record ``fence`` as the floor for ``key``; reject older tokens."""
+        if fence is None:
+            return
+        floors = self.__dict__.setdefault("_fence_floors", {})
+        floor = floors.get(key)
+        if floor is not None and fence < floor:
+            self.fenced_writes = self.fenced_writes + 1
+            raise FencedWriteError(
+                f"key {key!r}: fence {fence} is older than admitted fence {floor}"
+            )
+        floors[key] = fence
+
+    async def advance_fence(self, key: str, fence: int | None) -> None:
+        """Raise the fence floor for ``key`` without writing.
+
+        Called by a successor activation at load time, so that a zombie
+        predecessor's in-flight flush is rejected even if it lands before
+        the successor's first write.
+        """
+        self._admit_fence(key, fence)
+
+    async def fenced_put(
+        self,
+        key: str,
+        value: Any,
+        expected_etag: int | None = None,
+        fence: int | None = None,
+    ) -> int:
+        """Conditional write that additionally checks the fence token."""
+        self._admit_fence(key, fence)
+        return await self.put(key, value, expected_etag)
+
+    async def fenced_put_many(
+        self, entries: list[tuple[str, Any, int | None, int | None]]
+    ) -> list[int | BaseException]:
+        """Fenced variant of :meth:`put_many` over 4-tuples with fences.
+
+        Per-entry isolation matches :meth:`put_many`: a fence rejection
+        surfaces positionally as :class:`~repro.errors.FencedWriteError`
+        without poisoning the batch.
+        """
+        results: list[int | BaseException] = []
+        for key, value, expected_etag, fence in entries:
+            try:
+                results.append(
+                    await self.fenced_put(key, value, expected_etag, fence)
+                )
+            except Exception as exc:  # noqa: BLE001 - isolated per entry
+                results.append(exc)
+        return results
 
 
 class InMemoryKVStore(KeyValueStore):

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from ..errors import SiloUnavailableError
+from ..errors import ConditionalCheckFailedError, SiloUnavailableError
 from ..kernel.scheduler import Scheduler
 
 DEFAULT_LEASE_SECONDS = 30.0
@@ -52,11 +52,19 @@ class SystemStore:
         self.lease_seconds = lease_seconds
         self._members: dict[str, MembershipEntry] = {}
         self._reminders: dict[tuple[str, str], Reminder] = {}
+        # Membership view version: bumped on every view *change* (a silo
+        # joining or being retired), never on lease refreshes.  Eviction is
+        # a compare-and-swap against this epoch, so two detectors racing to
+        # evict resolve deterministically: one wins, the other observes the
+        # epoch moved and re-reads the view.
+        self.epoch = 0
+        # Monotonic fence tokens, one sequence per grain storage key.
+        self._fences: dict[str, int] = {}
 
     # -- membership ----------------------------------------------------------
 
     def announce(self, silo_id: str, **metadata: object) -> MembershipEntry:
-        """Insert or revive a silo row with a fresh lease."""
+        """Insert or revive a silo row with a fresh lease (a view change)."""
         now = self._scheduler.now
         entry = MembershipEntry(
             silo_id=silo_id,
@@ -65,21 +73,55 @@ class SystemStore:
             metadata=dict(metadata),
         )
         self._members[silo_id] = entry
+        self.epoch += 1
         return entry
 
     def refresh_lease(self, silo_id: str) -> None:
-        """Extend a silo's lease; raises if the silo never announced."""
+        """Extend a silo's lease; raises if the silo never announced.
+
+        A row already marked ``dead`` cannot be resurrected by a refresh:
+        the silo was evicted (view change) while it could not reach this
+        table, and must re-:meth:`announce` to rejoin — this is what stops a
+        healed zombie from silently re-entering the membership view with a
+        stale epoch.
+        """
         entry = self._members.get(silo_id)
         if entry is None:
             raise SiloUnavailableError(f"silo {silo_id!r} not in membership table")
+        if entry.status == "dead":
+            raise SiloUnavailableError(
+                f"silo {silo_id!r} was evicted from membership; re-announce to rejoin"
+            )
         entry.lease_expires_at = self._scheduler.now + self.lease_seconds
         entry.status = "active"
 
-    def retire(self, silo_id: str) -> None:
-        """Mark a silo dead (graceful shutdown)."""
+    def retire(self, silo_id: str, expected_epoch: int | None = None) -> None:
+        """Mark a silo dead (graceful shutdown or eviction) — a view change.
+
+        With ``expected_epoch`` the retirement is a compare-and-swap on the
+        membership epoch: if another view change landed since the caller
+        read the view, :class:`~repro.errors.ConditionalCheckFailedError` is
+        raised and nothing changes (the caller should re-read and re-decide).
+        """
+        if expected_epoch is not None and expected_epoch != self.epoch:
+            raise ConditionalCheckFailedError(
+                f"membership epoch moved: expected {expected_epoch}, now {self.epoch}"
+            )
         entry = self._members.get(silo_id)
-        if entry is not None:
+        if entry is not None and entry.status != "dead":
             entry.status = "dead"
+            self.epoch += 1
+
+    def acquire_fence(self, storage_key: str) -> int:
+        """Issue the next fence token for one grain's storage key.
+
+        Tokens are monotonically increasing per key; a new activation
+        acquires one at load time and stamps every flush with it, so stores
+        can reject writes from any older (zombie) activation.
+        """
+        fence = self._fences.get(storage_key, 0) + 1
+        self._fences[storage_key] = fence
+        return fence
 
     def _effective_status(self, entry: MembershipEntry) -> str:
         if entry.status == "dead":

@@ -1,0 +1,58 @@
+"""The partition bench's safety invariants hold on scaled-down runs."""
+
+import pytest
+
+from repro.bench.partition import (
+    MINORITY_SILO,
+    PartitionInvariantError,
+    _require,
+    run_partition_scenario,
+)
+
+SEEDS = (101, 202)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_netsplit_invariants_hold(seed):
+    # run_partition_scenario raises PartitionInvariantError on any safety
+    # violation (lost updates, dual writers, availability dips); a clean
+    # return IS the assertion.
+    row = run_partition_scenario("netsplit", sensors=6, seed=seed)
+    assert row["availability"] == 1.0
+    assert row["silos_quarantined"] >= 1
+    assert row["silos_rejoined"] >= 1
+    assert row["silos_evicted"] >= 1
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_zombie_invariants_hold(seed):
+    row = run_partition_scenario("zombie", sensors=6, seed=seed)
+    # The stale minority silo kept flushing: storage fencing had to reject
+    # at least one of those writes, and nobody quarantined (the zombie mode
+    # runs with quarantine_on_lease_loss off).
+    assert row["fenced_writes"] > 0
+    assert row["silos_quarantined"] == 0
+    assert row["silos_rejoined"] >= 1
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_crash_invariants_hold(seed):
+    row = run_partition_scenario("crash", sensors=6, seed=seed)
+    # The silent crash of the minority silo lost at most one redo window;
+    # the WAL replayed the journaled suffix on re-placement.
+    assert row["wal_replayed"] > 0
+    assert row["silos_evicted"] >= 1
+    assert row["scenario"] == "crash"
+    assert MINORITY_SILO == "silo-2"
+
+
+def test_runs_are_deterministic_per_seed():
+    first = run_partition_scenario("netsplit", sensors=6, seed=101)
+    second = run_partition_scenario("netsplit", sensors=6, seed=101)
+    assert first == second
+
+
+def test_require_raises_the_typed_invariant_error():
+    _require(True, "fine")
+    with pytest.raises(PartitionInvariantError):
+        _require(False, "lost updates detected")

@@ -248,6 +248,7 @@ def test_default_rules_are_valid_and_cover_the_objectives():
         "ask-p99-latency",
         "ingest-goodput",
         "heartbeat-misses",
+        "silo-quarantined",
         "mailbox-backlog",
         "error-rate",
         "cluster-imbalance",

@@ -237,3 +237,51 @@ def test_clear_state_removes_document(sched):
         return await ref.read()
 
     assert sched.run_until_complete(main()) == 0
+
+
+def test_write_through_conflict_surfaces_conditional_check_failure(sched):
+    # An out-of-band writer bumping the etag means this activation's view of
+    # the document is stale; the flush must fail loudly, not last-write-win.
+    from repro.errors import ConditionalCheckFailedError
+
+    store = InMemoryKVStore()
+    runtime = build_runtime(sched, store)
+    runtime.register_actor(WriteThroughCounter)
+
+    async def main():
+        ref = runtime.ref("WriteThroughCounter", "w")
+        await ref.increment()  # flush at etag 1
+        await store.put("state/WriteThroughCounter/w", {"count": 99})  # etag 2
+        with pytest.raises(ConditionalCheckFailedError):
+            await ref.increment()
+        return (await store.get("state/WriteThroughCounter/w")).value
+
+    # The out-of-band document wins; the stale flush changed nothing.
+    assert sched.run_until_complete(main()) == {"count": 99}
+
+
+def test_group_commit_conflict_surfaces_conditional_check_failure(sched):
+    # Same conflict, but the flush rides a batched put_many: the failure must
+    # come back through the individual group-commit ticket, not vanish into
+    # the batch.
+    from repro.errors import ConditionalCheckFailedError
+
+    store = InMemoryKVStore()
+    config = RuntimeConfig(
+        default_method_cost=0.0, activation_cost=0.0, enable_group_commit=True
+    )
+    network = Network(sched, lan=ConstantLatency(0.0))
+    runtime = AodbRuntime(sched, config=config, grain_storage=store, network=network)
+    runtime.add_silo("s1", cores=2)
+    runtime.register_actor(WriteThroughCounter)
+
+    async def main():
+        ref = runtime.ref("WriteThroughCounter", "w")
+        await ref.increment()
+        await store.put("state/WriteThroughCounter/w", {"count": 99})
+        with pytest.raises(ConditionalCheckFailedError):
+            await ref.increment()
+        assert runtime.group_commit is not None
+        return runtime.group_commit.batches >= 1
+
+    assert sched.run_until_complete(main()) is True

@@ -142,6 +142,52 @@ def test_dynamo_throttle_carries_retry_after(sched):
     assert store.throttled_writes == 1
 
 
+def test_put_many_fails_the_whole_batch_like_a_lost_round_trip(sched):
+    # A batched write shares one round trip, so a throttle window must fail
+    # every entry — not silently land some and drop the rest.
+    store = chaos_store(sched)
+    store.throttle_between(0.0, 1.0, kinds=("write",))
+
+    async def main():
+        with pytest.raises(ThrottledError):
+            await store.put_many([("a", 1, None), ("b", 2, None)])
+        assert await store.try_get("a") is None
+        assert await store.try_get("b") is None
+        await sched.at(1.0)
+        results = await store.put_many([("a", 1, None), ("b", 2, None)])
+        return results
+
+    assert sched.run_until_complete(main()) == [1, 1]
+    assert store.injected_throttles == 1
+
+
+def test_group_commit_batch_through_chaos_rejects_every_ticket(sched):
+    # Regression: GroupCommitWriter coalesces tickets into one put_many; if
+    # the chaos layer only faulted put(), batched flushes would dodge every
+    # scripted outage and chaos runs would overstate durability.
+    from repro.storage.groupcommit import GroupCommitWriter
+
+    store = chaos_store(sched)
+    store.throttle_between(0.0, 1.0, kinds=("write",))
+    writer = GroupCommitWriter(store, sched, max_batch=8, max_delay=0.0)
+
+    async def main():
+        first = writer.put("a", {"v": 1})
+        second = writer.put("b", {"v": 2})
+        failures = []
+        for ticket in (first, second):
+            try:
+                await ticket
+            except ThrottledError as error:
+                failures.append(error)
+        return failures
+
+    failures = sched.run_until_complete(main())
+    assert len(failures) == 2
+    assert store.injected_throttles == 1  # one round trip, one fault roll
+    assert len(store) == 0
+
+
 def test_chaos_wrapper_exported_from_storage_package():
     import repro.storage as storage
 

@@ -1,0 +1,148 @@
+"""Fenced conditional writes: stale-writer rejection across store layers."""
+
+import pytest
+
+from repro.errors import FencedWriteError
+from repro.kernel import Scheduler
+from repro.net import ConstantLatency
+from repro.storage import ChaosKVStore, InMemoryKVStore, ProvisionedKVStore
+from repro.storage.groupcommit import GroupCommitWriter
+
+
+@pytest.fixture
+def sched():
+    return Scheduler()
+
+
+def run(sched, coro):
+    return sched.run_until_complete(coro)
+
+
+def test_fenced_put_admits_monotonic_fences(sched):
+    store = InMemoryKVStore()
+
+    async def main():
+        await store.fenced_put("k", {"v": 1}, fence=1)
+        await store.fenced_put("k", {"v": 2}, expected_etag=1, fence=2)
+        # Re-using the current fence is fine (same writer, many flushes).
+        await store.fenced_put("k", {"v": 3}, expected_etag=2, fence=2)
+        return (await store.get("k")).value
+
+    assert run(sched, main()) == {"v": 3}
+    assert store.fenced_writes == 0
+
+
+def test_stale_fence_is_rejected_and_counted(sched):
+    store = InMemoryKVStore()
+
+    async def main():
+        await store.fenced_put("k", {"v": "new"}, fence=7)
+        with pytest.raises(FencedWriteError):
+            await store.fenced_put("k", {"v": "zombie"}, fence=3)
+        return (await store.get("k")).value
+
+    assert run(sched, main()) == {"v": "new"}
+    assert store.fenced_writes == 1
+
+
+def test_advance_fence_rejects_writes_that_land_later(sched):
+    # The successor bumps the floor at load time, *before* writing anything:
+    # a zombie flush that lands in between must still bounce.
+    store = InMemoryKVStore()
+
+    async def main():
+        await store.fenced_put("k", {"v": "old"}, fence=1)
+        await store.advance_fence("k", 5)
+        with pytest.raises(FencedWriteError):
+            await store.fenced_put("k", {"v": "zombie"}, fence=1)
+        await store.fenced_put("k", {"v": "successor"}, expected_etag=1, fence=5)
+        return (await store.get("k")).value
+
+    assert run(sched, main()) == {"v": "successor"}
+
+
+def test_unfenced_puts_are_unaffected(sched):
+    store = InMemoryKVStore()
+
+    async def main():
+        await store.fenced_put("k", {"v": 1}, fence=9)
+        # fence=None writers (fencing disabled) bypass the floor entirely.
+        await store.put("k", {"v": 2}, expected_etag=1)
+        await store.fenced_put("k", {"v": 3}, expected_etag=2, fence=None)
+        return (await store.get("k")).value
+
+    assert run(sched, main()) == {"v": 3}
+    assert store.fenced_writes == 0
+
+
+def test_fenced_put_many_isolates_rejections(sched):
+    store = InMemoryKVStore()
+
+    async def main():
+        await store.advance_fence("b", 10)
+        results = await store.fenced_put_many(
+            [
+                ("a", {"v": 1}, None, 2),
+                ("b", {"v": 1}, None, 3),  # stale: floor is 10
+                ("c", {"v": 1}, None, None),
+            ]
+        )
+        return results
+
+    results = run(sched, main())
+    assert results[0] == 1 and results[2] == 1
+    assert isinstance(results[1], FencedWriteError)
+    assert store.fenced_writes == 1
+
+
+def test_provisioned_store_delegates_fences_to_inner(sched):
+    store = ProvisionedKVStore(
+        sched,
+        read_capacity_units=100.0,
+        write_capacity_units=100.0,
+        latency=ConstantLatency(0.001),
+    )
+
+    async def main():
+        await store.fenced_put("k", {"v": 1}, fence=4)
+        # advance_fence is control-plane: no write units, no round trip.
+        consumed_before = store.wcu_consumed
+        await store.advance_fence("k", 9)
+        assert store.wcu_consumed == consumed_before
+        with pytest.raises(FencedWriteError):
+            await store.fenced_put("k", {"v": 2}, expected_etag=1, fence=4)
+        return store.fenced_writes
+
+    assert run(sched, main()) == 1
+
+
+def test_chaos_store_passes_fences_through(sched):
+    inner = InMemoryKVStore()
+    store = ChaosKVStore(sched, inner)
+
+    async def main():
+        await store.fenced_put("k", {"v": 1}, fence=2)
+        await store.advance_fence("k", 6)
+        with pytest.raises(FencedWriteError):
+            await store.fenced_put("k", {"v": 2}, expected_etag=1, fence=2)
+        return store.fenced_writes
+
+    assert run(sched, main()) == 1
+
+
+def test_group_commit_surfaces_fence_rejection_per_ticket(sched):
+    store = InMemoryKVStore()
+    writer = GroupCommitWriter(store, sched, max_batch=8, max_delay=0.0)
+
+    async def main():
+        await store.advance_fence("stale", 10)
+        ok = writer.put("fresh", {"v": 1}, fence=3)
+        bad = writer.put("stale", {"v": 1}, fence=2)
+        etag = await ok
+        with pytest.raises(FencedWriteError):
+            await bad
+        return etag
+
+    assert run(sched, main()) == 1
+    assert (run(sched, store.get("fresh"))).value == {"v": 1}
+    assert run(sched, store.try_get("stale")) is None

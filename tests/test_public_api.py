@@ -31,6 +31,28 @@ def test_readme_quickstart_runs():
     assert scheduler.run_until_complete(main()) == "hello world"
 
 
+def test_partition_tolerance_surface():
+    """The PR-6 partition-tolerance API is part of the advertised surface."""
+    from repro import FencedWriteError, QuarantinedSiloError, RuntimeConfig
+    from repro.errors import SiloUnavailableError, StorageError
+
+    assert issubclass(FencedWriteError, StorageError)
+    assert issubclass(QuarantinedSiloError, SiloUnavailableError)
+    config = RuntimeConfig()
+    assert config.enable_fencing is True
+    assert config.redo_lag == 0.0
+    assert config.eviction_quorum == 0.5
+    assert config.quarantine_on_lease_loss is True
+    config.validate()
+    config.redo_lag = -1.0
+    try:
+        config.validate()
+    except ValueError:
+        pass
+    else:  # pragma: no cover - guard
+        raise AssertionError("negative redo_lag must be rejected")
+
+
 def test_subpackages_import():
     import repro.aodb
     import repro.bench
