@@ -293,3 +293,30 @@ def test_disabled_profiling_allocates_nothing():
     assert sum(stat.count for stat in allocs.statistics("filename")) == 0
     assert runtime.profiler.turns == 0
     assert runtime.profiler.attributed_cpu() == 0.0
+
+
+# -- kernel allocation budget -------------------------------------------------
+
+
+def test_allocations_per_event_within_budget():
+    """Steady-state kernel allocations stay bounded per processed event.
+
+    Measured exactly like ``repro.bench speed``: tracemalloc's peak traced
+    size over a deadline-wrapped ask workload, divided by the events the
+    scheduler processed.  The pooled/fused kernel sits around 4-8 bytes per
+    event; the budget leaves allocator-jitter headroom while still failing
+    loudly if a per-event allocation (a leaked deadline timer, an unpooled
+    invocation envelope, a per-message closure) sneaks back in.
+    """
+    from repro.bench.speed import _run_ask_workload
+
+    _run_ask_workload(10, 30, None)  # warm code objects and caches
+    tracemalloc.start()
+    tracemalloc.clear_traces()
+    try:
+        sched = _run_ask_workload(40, 150, None)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    per_event = peak / sched.events_processed
+    assert per_event < 64.0, f"{per_event:.1f} peak bytes/event over budget"

@@ -250,12 +250,26 @@ def build_partition(smoke: bool = False) -> dict:
     return _build(smoke)
 
 
+def build_speed(smoke: bool = False) -> dict:
+    """Host-speed bench: kernel events/sec and allocation pressure.
+
+    Delegates to :func:`repro.bench.speed.build_speed`; unlike the other
+    benches this one measures *host* wall-clock, so its gate (in
+    :func:`repro.bench.speed.gate_speed`) compares calibration-normalized
+    events-per-mega-op rather than raw virtual-time throughput.
+    """
+    from .speed import build_speed as _build
+
+    return _build(smoke)
+
+
 BUILDERS: dict[str, Callable[[bool], dict]] = {
     "fig6": build_fig6,
     "fig7": build_fig7,
     "micro": build_micro,
     "elastic": build_elastic,
     "partition": build_partition,
+    "speed": build_speed,
 }
 
 
@@ -318,6 +332,10 @@ def check_against_baseline(fresh: dict, baseline: dict) -> list[str]:
             f"baseline has no '{fresh['mode']}' mode for bench "
             f"'{fresh['bench']}'; regenerate it with --write-baseline"
         ]
+    if fresh.get("bench") == "speed":
+        from .speed import gate_speed
+
+        return gate_speed(fresh, base_payload)
     failures: list[str] = []
     fresh_series = fresh["series"]
     base_series = base_payload["series"]

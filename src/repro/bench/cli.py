@@ -109,7 +109,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(RUNNERS)
-        + ["all", "trace", "profile", "micro", "elastic", "partition"],
+        + ["all", "trace", "profile", "micro", "elastic", "partition", "speed"],
         help="which figure/ablation to run (or a traced/profiled demo run)",
     )
     parser.add_argument(
@@ -152,7 +152,7 @@ def main(argv: list[str] | None = None) -> int:
         print(run_profile_bench(smoke=args.smoke))
         return 0
     baseline_flags = args.json or args.check_baseline or args.write_baseline
-    if args.experiment in ("micro", "elastic", "partition"):
+    if args.experiment in ("micro", "elastic", "partition", "speed"):
         if not (baseline_flags or args.smoke):
             print(
                 json.dumps(

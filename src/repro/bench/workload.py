@@ -212,32 +212,48 @@ async def run_load(deployment: Deployment, load: LoadConfig) -> RunResult:
         for org_id in org_ids
     }
 
-    async def one_insert(sensor_id: str, jitter: float, wave_time: float) -> None:
+    # Per-sensor channel ids never change; build the f-strings once instead
+    # of twice per sensor per wave.
+    sensor_channels = {
+        sensor_id: (channel_id_for(sensor_id, 0), channel_id_for(sensor_id, 1))
+        for sensor_id in sensor_ids
+    }
+
+    def wave_samples(wave_time: float) -> tuple[tuple, tuple]:
+        """Both channels' sample batches for one wave.
+
+        Every sensor sends the same synthetic signal, so the
+        ``(timestamp, value)`` pairs depend only on ``(channel, wave_time)``
+        — computed once per wave and shared (they are immutable tuples)
+        across the whole fleet instead of rebuilt per sensor.  The float
+        expressions match the original per-sensor construction exactly, so
+        measured values are bit-identical.
+        """
+        times = [wave_time + i * load.sample_dt for i in range(load.points_per_channel)]
+        return (
+            tuple((ts, synth_value(0, ts)) for ts in times),
+            tuple((ts, synth_value(1, ts)) for ts in times),
+        )
+
+    async def one_insert(sensor_id: str, jitter: float, samples: tuple) -> None:
         if jitter > 0:
             await scheduler.sleep(jitter)
         sent = scheduler.now
-        batches = {}
-        for channel in (0, 1):
-            channel_id = channel_id_for(sensor_id, channel)
-            batches[channel_id] = [
-                (
-                    wave_time + i * load.sample_dt,
-                    synth_value(channel, wave_time + i * load.sample_dt),
-                )
-                for i in range(load.points_per_channel)
-            ]
+        channel_ids = sensor_channels[sensor_id]
+        batches = {channel_ids[0]: samples[0], channel_ids[1]: samples[1]}
         await platform.ingest(sensor_id, batches)
         recorder.record("insert", sent, scheduler.now - sent)
 
     async def fleet() -> None:
         while scheduler.now < stop:
             wave_time = scheduler.now
+            samples = wave_samples(wave_time)
             tasks = [
                 scheduler.spawn(
                     one_insert(
                         sensor_id,
                         jitter_rng.uniform(0, load.wave_jitter),
-                        wave_time,
+                        samples,
                     )
                 )
                 for sensor_id in sensor_ids

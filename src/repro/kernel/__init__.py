@@ -7,14 +7,17 @@ and seeded random streams.  No wall-clock time and no :mod:`asyncio`.
 """
 
 from .futures import Future, all_of, any_of, completed, failed
+from .pool import FreeList
 from .resources import CpuResource, TokenBucket
 from .rng import RngRegistry, derive_seed
-from .scheduler import Scheduler, Task, run
+from .scheduler import Scheduler, Task, TimerHandle, run
 from .sync import Event, Lock, Queue, Semaphore
+from .timerwheel import TimerWheel
 
 __all__ = [
     "CpuResource",
     "Event",
+    "FreeList",
     "Future",
     "Lock",
     "Queue",
@@ -22,6 +25,8 @@ __all__ = [
     "Scheduler",
     "Semaphore",
     "Task",
+    "TimerHandle",
+    "TimerWheel",
     "TokenBucket",
     "all_of",
     "any_of",

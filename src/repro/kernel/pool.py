@@ -1,0 +1,98 @@
+"""A tiny bounded freelist for recycling hot-path objects.
+
+CPython allocates every ``__slots__`` object on the heap; at hundreds of
+thousands of messages per second that allocation (and the matching
+deallocation) shows up as a measurable fraction of the dispatch loop.  A
+:class:`FreeList` lets a subsystem recycle its per-message carrier objects
+(the runtime recycles :class:`~repro.runtime.messages.Invocation`) instead
+of round-tripping through the allocator.
+
+Safety contract — the pool enforces none of this, the *user* must:
+
+- only ``release`` an object once every reference to it is provably dead
+  (the runtime releases an invocation only on the two paths that are last
+  to touch it, and never releases deadline-expired asks at all);
+- provide a ``reset`` that clears **every** field, so no state can leak
+  from one use into the next (property-tested in the kernel test suite);
+- stop releasing entirely when aliasing becomes possible (the runtime
+  latches pooling off the moment a fault injector is installed, because
+  duplicated deliveries alias one carrier object).
+
+The capacity bound keeps a traffic burst from pinning memory forever.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class FreeList(Generic[T]):
+    """Bounded LIFO recycler: ``acquire`` pops, ``release`` resets and pushes."""
+
+    __slots__ = ("_items", "_factory", "_reset", "_capacity", "hits", "misses")
+
+    def __init__(
+        self,
+        factory: Callable[[], T],
+        reset: Callable[[T], None],
+        capacity: int = 1024,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self._items: list[T] = []
+        self._factory = factory
+        self._reset = reset
+        self._capacity = capacity
+        #: Recycled / freshly-allocated acquisition counters (observability).
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def acquire(self) -> T:
+        """Return a recycled object, or a fresh one from the factory."""
+        if self._items:
+            self.hits += 1
+            return self._items.pop()
+        self.misses += 1
+        return self._factory()
+
+    def release(self, item: T) -> bool:
+        """Reset ``item`` and shelve it; returns False when at capacity.
+
+        The reset runs even when the pool is full, so a released object is
+        always scrubbed — a dropped one simply goes to the allocator clean.
+
+        A consecutive double release of the same object (the catastrophic
+        misuse: two later acquires would alias it) is absorbed — the LIFO
+        top is checked by identity before pushing.
+        """
+        self._reset(item)
+        items = self._items
+        if items and items[-1] is item:
+            return False
+        if len(items) >= self._capacity:
+            return False
+        items.append(item)
+        return True
+
+    def clear(self) -> None:
+        """Drop every shelved object (tests / latch-off path)."""
+        self._items.clear()
+
+    def stats(self) -> dict[str, Any]:
+        """Counters for metrics probes."""
+        total = self.hits + self.misses
+        return {
+            "size": len(self._items),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+        }

@@ -9,16 +9,167 @@ wall-clock time.
 Coroutines are driven directly (``coroutine.send``), awaiting
 :class:`~repro.kernel.futures.Future` objects.  There is deliberately no
 dependency on :mod:`asyncio`.
+
+Because the simulator's wall-clock is bounded by this loop, the layout is
+tuned for dispatch speed.  Pending work lives in three structures, merged in
+exact ``(when, sequence)`` order:
+
+- a **ready deque** of immediate callbacks (task resumes, ``_call_soon``) —
+  entries are appended with monotonically non-decreasing keys, so the deque
+  is always sorted and merging against the heap is a head-to-head compare;
+- a small **heap** of near-term timers, each wrapped in a cancellable
+  :class:`TimerHandle`;
+- a hierarchical :class:`~repro.kernel.timerwheel.TimerWheel` holding
+  farther timers bucketed by distance, so the deadline-shaped majority
+  (armed far ahead, cancelled early) never costs heap operations at all.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Awaitable, Callable, Coroutine, Iterable
 
 from ..errors import CancelledError, DeadlockError, SchedulerStoppedError
 from ..errors import TimeoutError as KernelTimeoutError
-from .futures import Future
+from .futures import _CANCELLED, _PENDING, _RESOLVED, Future
+from .timerwheel import TimerWheel
+
+_INF = float("inf")
+
+#: Sentinel meaning "call the event callback with no argument".  Carrying an
+#: optional argument in the event entry lets hot paths schedule plain bound
+#: methods or module functions instead of allocating a closure per event.
+_NO_ARG = object()
+
+# TimerHandle._where values.
+_IN_WHEEL = 0
+_IN_HEAP = 1
+_DEAD = 2  # cancelled
+_FIRED = 3
+
+
+def _wake(future: Future[None]) -> None:
+    """Timer callback for sleep/at: resolve the future unless pre-empted."""
+    if future._state is _PENDING:
+        future.set_result(None)
+
+
+class _SleepFuture(Future):
+    """A sleep's future fused with its own timer entry (one allocation).
+
+    Doubles as the :class:`TimerHandle` the heap/wheel stores: the dispatch
+    loop and the wheel only touch the handle slots (``when``/``seq``/
+    ``_callback``/``_arg``/``_where``/``_scheduler``), the awaiting side
+    only the inherited future slots, so the two roles never collide.
+    Sleeps are the kernel's most common timer by far — fusing the pair
+    halves their allocation rate.
+    """
+
+    __slots__ = ("when", "seq", "_callback", "_arg", "_scheduler", "_where")
+
+
+class _Timeout:
+    """Per-:meth:`Scheduler.timeout` state, packed into one slotted object.
+
+    Replaces the two closures (mirror callback + deadline callback) the
+    wrapper used to allocate per call: the object itself is the inner
+    future's done-callback (``__call__``) and :meth:`deadline` is the timer
+    action.  Deadline wrappers are the second most common allocation after
+    sleeps, so the saved function objects and cell vars are measurable.
+    """
+
+    __slots__ = ("wrapped", "inner", "delay", "handle")
+
+    def __init__(
+        self, wrapped: Future[Any], inner: Future[Any], delay: float
+    ) -> None:
+        self.wrapped = wrapped
+        self.inner = inner
+        self.delay = delay
+        self.handle: TimerHandle | None = None
+
+    def __call__(self, done: Future[Any]) -> None:
+        """Inner future settled: mirror it and disarm the deadline timer."""
+        wrapped = self.wrapped
+        if wrapped._state is not _PENDING:
+            return
+        handle = self.handle
+        if handle is not None:
+            handle.cancel()
+        state = done._state
+        if state is _RESOLVED:
+            wrapped.set_result(done._value)
+        elif state is _CANCELLED:
+            wrapped.set_exception(CancelledError(done.name or "future cancelled"))
+        else:
+            wrapped.set_exception(done._exception)
+
+    def deadline(self) -> None:
+        """Deadline fired first: reject the wrapper and detach from inner."""
+        wrapped = self.wrapped
+        if wrapped._state is _PENDING:
+            self.inner.remove_done_callback(self)
+            wrapped.set_exception(
+                KernelTimeoutError(
+                    f"timed out after {self.delay} virtual seconds"
+                )
+            )
+
+
+class TimerHandle:
+    """A scheduled timer that can be cancelled in O(1).
+
+    Returned by :meth:`Scheduler.call_at` / :meth:`Scheduler.call_later`.
+    Cancelling detaches the callback immediately; the dead entry is dropped
+    lazily (bucket flush or heap pop) without ever running.
+    """
+
+    __slots__ = ("when", "seq", "_callback", "_arg", "_scheduler", "_where")
+
+    def __init__(
+        self,
+        when: float,
+        seq: int,
+        callback: Callable[..., None],
+        arg: Any,
+        scheduler: "Scheduler",
+        where: int,
+    ) -> None:
+        self.when = when
+        self.seq = seq
+        self._callback: Callable[..., None] | None = callback
+        self._arg = arg
+        self._scheduler: Scheduler | None = scheduler
+        self._where = where
+
+    def cancelled(self) -> bool:
+        """True once cancelled (not merely fired)."""
+        return self._where == _DEAD
+
+    def cancel(self) -> bool:
+        """Detach the callback; returns False if already fired or cancelled."""
+        if self._callback is None:
+            return False
+        self._callback = None
+        self._arg = None
+        where = self._where
+        self._where = _DEAD
+        scheduler = self._scheduler
+        self._scheduler = None
+        if scheduler is None:
+            return False
+        if where == _IN_WHEEL:
+            scheduler._wheel.live -= 1
+        else:
+            scheduler._tombstones = tombstones = scheduler._tombstones + 1
+            if tombstones > 64 and tombstones * 2 > len(scheduler._events):
+                scheduler._compact()
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled/fired" if self._callback is None else "armed"
+        return f"<TimerHandle when={self.when} seq={self.seq} {state}>"
 
 
 class Task:
@@ -38,6 +189,8 @@ class Task:
         "_waiting_on",
         "_started",
         "_cancel_requested",
+        "_resume_value",
+        "_resume_exc",
     )
 
     def __init__(
@@ -53,6 +206,8 @@ class Task:
         self._waiting_on: Future[Any] | None = None
         self._started = False
         self._cancel_requested = False
+        self._resume_value: Any = None
+        self._resume_exc: BaseException | None = None
 
     def done(self) -> bool:
         """Return True when the task's coroutine has finished."""
@@ -79,14 +234,14 @@ class Task:
         if waiting is not None and not waiting.done():
             # Detach from the awaited future and inject the cancellation.
             self._scheduler._call_soon(
-                lambda: self._step(exc=CancelledError(self.name))
+                lambda: self._step(exc=CancelledError(self.name)), _NO_ARG
             )
         return True
 
     # -- driving the coroutine ------------------------------------------------
 
     def _step(self, value: Any = None, exc: BaseException | None = None) -> None:
-        if self.future.done():
+        if self.future._state is not _PENDING:
             return
         if self._cancel_requested and exc is None:
             exc = CancelledError(self.name)
@@ -107,7 +262,7 @@ class Task:
         except BaseException as error:  # noqa: BLE001 - task funnel
             self.future.set_exception(error)
             return
-        if not isinstance(yielded, Future):
+        if type(yielded) is not Future and not isinstance(yielded, Future):
             self._step(
                 exc=TypeError(
                     f"task {self.name!r} awaited a non-kernel awaitable: "
@@ -116,19 +271,89 @@ class Task:
             )
             return
         self._waiting_on = yielded
-        yielded.add_done_callback(self._on_future_done)
+        # Inline add_done_callback for the dominant case: a future yielded
+        # out of a coroutine is normally still pending (a done future raises
+        # StopIteration inside the await instead of yielding) and has no
+        # callback registered yet.
+        if (
+            yielded._state is _PENDING
+            and yielded._cb0 is None
+            and yielded._callbacks is None
+        ):
+            yielded._cb0 = self._on_future_done
+        else:
+            yielded.add_done_callback(self._on_future_done)
 
     def _on_future_done(self, future: Future[Any]) -> None:
         if self._waiting_on is not future:
             return  # detached by cancellation
-        try:
-            value = future.result()
-        except BaseException as error:  # noqa: BLE001 - forwarded into coroutine
-            # Bind through a default: `error` is unbound once the except
-            # block exits, but the lambda runs later.
-            self._scheduler._call_soon(lambda exc=error: self._step(exc=exc))
+        # Stash the resume payload on the task and queue the plain-function
+        # resume step: no closure allocation per suspension.
+        state = future._state
+        if state is _RESOLVED:
+            self._resume_value = future._value
+            self._resume_exc = None
+        elif state is _CANCELLED:
+            self._resume_value = None
+            self._resume_exc = CancelledError(future.name or "future cancelled")
+        else:
+            self._resume_value = None
+            self._resume_exc = future._exception
+        # _call_soon, inlined: this is the single hottest scheduling site
+        # (every task suspension passes through it).
+        scheduler = self._scheduler
+        if scheduler._stopped:
+            raise SchedulerStoppedError("scheduler has stopped")
+        scheduler._sequence = seq = scheduler._sequence + 1
+        scheduler._ready.append((scheduler._now, seq, Task._resume, self))
+
+    def _resume(self) -> None:
+        # :meth:`_step` with the stashed payload inlined — every suspension
+        # resumes through here, and at bench rates the extra frame is
+        # measurable.  Kept textually parallel with ``_step``; the
+        # ``_started`` store is skipped because a resuming task has stepped
+        # at least once already.
+        value = self._resume_value
+        exc = self._resume_exc
+        self._resume_value = None
+        self._resume_exc = None
+        if self.future._state is not _PENDING:
             return
-        self._scheduler._call_soon(lambda: self._step(value=value))
+        if self._cancel_requested and exc is None:
+            exc = CancelledError(self.name)
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                yielded = self._coro.throw(exc)
+            else:
+                yielded = self._coro.send(value)
+        except StopIteration as stop:
+            self.future.set_result(stop.value)
+            return
+        except CancelledError:
+            if not self.future.done():
+                self.future.cancel()
+            return
+        except BaseException as error:  # noqa: BLE001 - task funnel
+            self.future.set_exception(error)
+            return
+        if type(yielded) is not Future and not isinstance(yielded, Future):
+            self._step(
+                exc=TypeError(
+                    f"task {self.name!r} awaited a non-kernel awaitable: "
+                    f"{yielded!r}"
+                )
+            )
+            return
+        self._waiting_on = yielded
+        if (
+            yielded._state is _PENDING
+            and yielded._cb0 is None
+            and yielded._callbacks is None
+        ):
+            yielded._cb0 = self._on_future_done
+        else:
+            yielded.add_done_callback(self._on_future_done)
 
     def __await__(self):
         return self.future.__await__()
@@ -157,7 +382,15 @@ class Scheduler:
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
         self._sequence = 0
-        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        # Near-term timers: (when, seq, TimerHandle) — seq is unique, so the
+        # handle itself is never compared.
+        self._events: list[tuple[float, int, TimerHandle]] = []
+        #: Cancelled handles still sitting in ``_events`` (skipped at pop).
+        self._tombstones = 0
+        # Immediate callbacks: (when, seq, callback, arg), always sorted
+        # because entries are appended with non-decreasing (when, seq).
+        self._ready: deque[tuple[float, int, Callable[..., None], Any]] = deque()
+        self._wheel = TimerWheel()
         self._stopped = False
         self.events_processed = 0
 
@@ -170,80 +403,225 @@ class Scheduler:
 
     @property
     def pending_events(self) -> int:
-        """Events currently queued (an observability probe reads this)."""
-        return len(self._events)
+        """Live events currently queued (an observability probe reads this).
+
+        Counts ready callbacks, armed heap timers and wheel-bucketed timers;
+        cancelled timers are excluded — after the timeout-leak fix this stays
+        flat under sustained deadline-wrapped traffic.
+        """
+        return (
+            len(self._ready)
+            + len(self._events)
+            - self._tombstones
+            + self._wheel.live
+        )
 
     # -- event scheduling -----------------------------------------------------
 
-    def call_at(self, when: float, action: Callable[[], None]) -> None:
-        """Schedule ``action`` to run at virtual time ``when``."""
+    #: Timers closer than this go straight into the heap: they fire before a
+    #: cancellation could plausibly save work, and the heap (kept small by
+    #: the wheel absorbing far timers) beats bucket bookkeeping at this range.
+    NEAR_HORIZON = 0.004
+
+    def call_at(
+        self, when: float, action: Callable[..., None], arg: Any = _NO_ARG
+    ) -> TimerHandle:
+        """Schedule ``action`` to run at virtual time ``when``.
+
+        Returns a :class:`TimerHandle`; cancelling it detaches the action in
+        O(1) without leaving work in the event queue.  When ``arg`` is given
+        the action is called as ``action(arg)`` (hot paths use this to avoid
+        allocating a closure per timer).
+        """
         if self._stopped:
             raise SchedulerStoppedError("scheduler has stopped")
-        if when < self._now:
-            when = self._now
-        self._sequence += 1
-        heapq.heappush(self._events, (when, self._sequence, action))
+        now = self._now
+        if when < now:
+            when = now
+        self._sequence = seq = self._sequence + 1
+        handle = TimerHandle.__new__(TimerHandle)
+        handle.when = when
+        handle.seq = seq
+        handle._callback = action
+        handle._arg = arg
+        handle._scheduler = self
+        if when - now < 0.004:  # NEAR_HORIZON
+            handle._where = _IN_HEAP
+            heapq.heappush(self._events, (when, seq, handle))
+        else:
+            handle._where = _IN_WHEEL
+            self._wheel.add(handle, now)
+        return handle
 
-    def call_later(self, delay: float, action: Callable[[], None]) -> None:
+    def call_later(
+        self, delay: float, action: Callable[..., None], arg: Any = _NO_ARG
+    ) -> TimerHandle:
         """Schedule ``action`` to run ``delay`` seconds from now."""
-        self.call_at(self._now + max(0.0, delay), action)
+        if delay < 0.0:
+            delay = 0.0
+        return self.call_at(self._now + delay, action, arg)
 
-    def _call_soon(self, action: Callable[[], None]) -> None:
-        self.call_at(self._now, action)
+    def _call_soon(self, action: Callable[..., None], arg: Any) -> None:
+        if self._stopped:
+            raise SchedulerStoppedError("scheduler has stopped")
+        self._sequence = seq = self._sequence + 1
+        self._ready.append((self._now, seq, action, arg))
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones (triggered by cancel churn)."""
+        self._events = [
+            entry for entry in self._events if entry[2]._callback is not None
+        ]
+        heapq.heapify(self._events)
+        self._tombstones = 0
 
     # -- task & future helpers -------------------------------------------------
 
     def spawn(self, coro: Coroutine[Any, Any, Any], name: str = "") -> Task:
-        """Create a task for ``coro`` and schedule its first step."""
-        task = Task(coro, self, name=name)
-        self._call_soon(task._step)
+        """Create a task for ``coro`` and schedule its first step.
+
+        ``Task.__init__`` and ``_call_soon`` are inlined — the actor runtime
+        spawns a task per delivery and per reply, so construction cost is
+        part of the per-message bill.
+        """
+        if self._stopped:
+            raise SchedulerStoppedError("scheduler has stopped")
+        task = Task.__new__(Task)
+        task._coro = coro
+        task._scheduler = self
+        future: Future[Any] = Future.__new__(Future)
+        future._state = _PENDING
+        future._value = None
+        future._exception = None
+        future._cb0 = None
+        future._callbacks = None
+        future.name = name or getattr(coro, "__name__", "task")
+        task.future = future
+        task.name = future.name
+        task._waiting_on = None
+        task._started = False
+        task._cancel_requested = False
+        task._resume_value = None
+        task._resume_exc = None
+        self._sequence = seq = self._sequence + 1
+        self._ready.append((self._now, seq, Task._step, task))
         return task
 
     def sleep(self, delay: float) -> Future[None]:
-        """Return a future resolving ``delay`` virtual seconds from now."""
-        future: Future[None] = Future(f"sleep:{delay:.6f}")
-        self.call_later(delay, lambda: future.done() or future.set_result(None))
+        """Return a future resolving ``delay`` virtual seconds from now.
+
+        The body is :meth:`call_later` + :meth:`call_at` inlined — sleeps
+        are the single most common timer, and the two-frame call chain is
+        measurable at bench rates.
+        """
+        if self._stopped:
+            raise SchedulerStoppedError("scheduler has stopped")
+        # One fused future-and-timer object, constructor frame elided.
+        future: _SleepFuture = _SleepFuture.__new__(_SleepFuture)
+        future._state = _PENDING
+        future._value = None
+        future._exception = None
+        future._cb0 = None
+        future._callbacks = None
+        future.name = "sleep"
+        now = self._now
+        when = now + delay if delay > 0.0 else now
+        self._sequence = seq = self._sequence + 1
+        future.when = when
+        future.seq = seq
+        future._callback = _wake
+        future._arg = future
+        future._scheduler = self
+        if when - now < 0.004:  # NEAR_HORIZON
+            future._where = _IN_HEAP
+            heapq.heappush(self._events, (when, seq, future))
+        else:
+            future._where = _IN_WHEEL
+            self._wheel.add(future, now)
         return future
 
     def at(self, when: float) -> Future[None]:
-        """Return a future resolving at absolute virtual time ``when``."""
-        future: Future[None] = Future(f"at:{when:.6f}")
-        self.call_at(when, lambda: future.done() or future.set_result(None))
+        """Return a future resolving at absolute virtual time ``when``.
+
+        Same fused future-and-timer object as :meth:`sleep` — the CPU
+        resource mints one of these per charge, so it shares the bill.
+        """
+        if self._stopped:
+            raise SchedulerStoppedError("scheduler has stopped")
+        future: _SleepFuture = _SleepFuture.__new__(_SleepFuture)
+        future._state = _PENDING
+        future._value = None
+        future._exception = None
+        future._cb0 = None
+        future._callbacks = None
+        future.name = "at"
+        now = self._now
+        if when < now:
+            when = now
+        self._sequence = seq = self._sequence + 1
+        future.when = when
+        future.seq = seq
+        future._callback = _wake
+        future._arg = future
+        future._scheduler = self
+        if when - now < 0.004:  # NEAR_HORIZON
+            future._where = _IN_HEAP
+            heapq.heappush(self._events, (when, seq, future))
+        else:
+            future._where = _IN_WHEEL
+            self._wheel.add(future, now)
         return future
 
     def timeout(self, awaitable: Future[Any] | Task, delay: float) -> Future[Any]:
         """Wrap an awaitable with a deadline ``delay`` seconds from now.
 
         The returned future mirrors the awaitable if it finishes in time and
-        rejects with :class:`~repro.errors.TimeoutError` otherwise.
+        rejects with :class:`~repro.errors.TimeoutError` otherwise.  Neither
+        side pins the other: the deadline timer is cancelled the moment the
+        inner awaitable completes, and the mirror callback is removed from
+        the inner future the moment the deadline fires.
         """
         inner = awaitable.future if isinstance(awaitable, Task) else awaitable
-        wrapped: Future[Any] = Future("timeout")
-
-        def on_done(done: Future[Any]) -> None:
-            if wrapped.done():
-                return
-            try:
-                wrapped.set_result(done.result())
-            except BaseException as exc:  # noqa: BLE001
-                wrapped.set_exception(exc)
-
-        def on_deadline() -> None:
-            if not wrapped.done():
-                wrapped.set_exception(
-                    KernelTimeoutError(f"timed out after {delay} virtual seconds")
-                )
-
-        inner.add_done_callback(on_done)
-        self.call_later(delay, on_deadline)
+        wrapped: Future[Any] = Future.__new__(Future)
+        wrapped._state = _PENDING
+        wrapped._value = None
+        wrapped._exception = None
+        wrapped._cb0 = None
+        wrapped._callbacks = None
+        wrapped.name = "timeout"
+        state = _Timeout(wrapped, inner, delay)
+        inner.add_done_callback(state)
+        if wrapped._state is _PENDING:
+            # Inline call_at: deadline timers are the second most common
+            # timer after sleeps and the extra frame is measurable.
+            if self._stopped:
+                raise SchedulerStoppedError("scheduler has stopped")
+            now = self._now
+            when = now + delay if delay > 0.0 else now
+            self._sequence = seq = self._sequence + 1
+            handle = TimerHandle.__new__(TimerHandle)
+            handle.when = when
+            handle.seq = seq
+            handle._callback = _Timeout.deadline
+            handle._arg = state
+            handle._scheduler = self
+            if when - now < 0.004:  # NEAR_HORIZON
+                handle._where = _IN_HEAP
+                heapq.heappush(self._events, (when, seq, handle))
+            else:
+                handle._where = _IN_WHEEL
+                self._wheel.add(handle, now)
+            state.handle = handle
         return wrapped
 
     # -- running ----------------------------------------------------------------
 
-    def run_until_complete(self, coro: Coroutine[Any, Any, Any], name: str = "main") -> Any:
+    def run_until_complete(
+        self, coro: Coroutine[Any, Any, Any], name: str = "main"
+    ) -> Any:
         """Run the event loop until ``coro`` finishes; return its result."""
         task = self.spawn(coro, name=name)
-        self.run_until(lambda: task.done())
+        self._run(stop_future=task.future)
         if not task.done():
             raise DeadlockError(
                 f"no more events but task {task.name!r} is still pending "
@@ -253,36 +631,205 @@ class Scheduler:
 
     def run_until(self, predicate: Callable[[], bool]) -> None:
         """Process events until ``predicate()`` is true or events run out."""
-        while not predicate() and self._events:
-            self._process_next()
+        self._run(predicate=predicate)
 
     def run_for(self, duration: float) -> None:
         """Process all events scheduled within ``duration`` seconds from now."""
         deadline = self._now + duration
-        while self._events and self._events[0][0] <= deadline:
-            self._process_next()
-        self._now = max(self._now, deadline)
+        self._run(deadline=deadline)
+        if deadline > self._now:
+            self._now = deadline
 
     def drain(self) -> None:
         """Process every remaining event."""
-        while self._events:
-            self._process_next()
+        self._run()
 
-    def _process_next(self) -> None:
-        when, _seq, action = heapq.heappop(self._events)
-        self._now = max(self._now, when)
-        self.events_processed += 1
-        action()
+    def _run(
+        self,
+        stop_future: Future[Any] | None = None,
+        deadline: float | None = None,
+        predicate: Callable[[], bool] | None = None,
+    ) -> None:
+        """The dispatch loop: merge ready/heap/wheel in (when, seq) order.
+
+        Ready entries are appended with non-decreasing keys and heap entries
+        pop in key order, so comparing the two heads is an exact merge; the
+        wheel flushes a bucket into the heap whenever that bucket's start
+        time reaches the current candidate, before the candidate is run.
+        """
+        ready = self._ready
+        events = self._events
+        wheel = self._wheel
+        pop_ready = ready.popleft
+        heappop = heapq.heappop
+        processed = 0
+        try:
+            if deadline is None and predicate is None:
+                # Fast variant (run_until_complete / drain): no per-event
+                # deadline or predicate test.  Kept textually parallel with
+                # the general variant below.
+                while True:
+                    if (
+                        stop_future is not None
+                        and stop_future._state is not _PENDING
+                    ):
+                        return
+                    if ready:
+                        head = ready[0]
+                        ready_when = head[0]
+                        ready_seq = head[1]
+                    else:
+                        ready_when = _INF
+                        ready_seq = 0
+                    if events:
+                        head = events[0]
+                        heap_when = head[0]
+                        heap_seq = head[1]
+                    else:
+                        heap_when = _INF
+                        heap_seq = 0
+                    candidate = ready_when if ready_when < heap_when else heap_when
+                    next_start = wheel.next_start
+                    if next_start <= candidate and next_start < _INF:
+                        wheel.flush(candidate, events)
+                        continue
+                    if candidate == _INF:
+                        return
+                    if ready_when < heap_when or (
+                        ready_when == heap_when and ready_seq < heap_seq
+                    ):
+                        when, _seq, callback, arg = pop_ready()
+                    else:
+                        entry = heappop(events)
+                        handle = entry[2]
+                        callback = handle._callback
+                        if callback is None:
+                            self._tombstones -= 1
+                            continue
+                        when = entry[0]
+                        arg = handle._arg
+                        handle._callback = None
+                        handle._arg = None
+                        handle._where = _FIRED
+                        handle._scheduler = None
+                    if when > self._now:
+                        self._now = when
+                    processed += 1
+                    if arg is _NO_ARG:
+                        callback()
+                    else:
+                        callback(arg)
+            else:
+                while True:
+                    if (
+                        stop_future is not None
+                        and stop_future._state is not _PENDING
+                    ):
+                        return
+                    if predicate is not None and predicate():
+                        return
+                    if ready:
+                        head = ready[0]
+                        ready_when = head[0]
+                        ready_seq = head[1]
+                    else:
+                        ready_when = _INF
+                        ready_seq = 0
+                    if events:
+                        head = events[0]
+                        heap_when = head[0]
+                        heap_seq = head[1]
+                    else:
+                        heap_when = _INF
+                        heap_seq = 0
+                    candidate = ready_when if ready_when < heap_when else heap_when
+                    next_start = wheel.next_start
+                    if next_start <= candidate and next_start < _INF:
+                        wheel.flush(candidate, events)
+                        continue
+                    if candidate == _INF:
+                        return
+                    if deadline is not None and candidate > deadline:
+                        return
+                    if ready_when < heap_when or (
+                        ready_when == heap_when and ready_seq < heap_seq
+                    ):
+                        when, _seq, callback, arg = pop_ready()
+                    else:
+                        entry = heappop(events)
+                        handle = entry[2]
+                        callback = handle._callback
+                        if callback is None:
+                            self._tombstones -= 1
+                            continue
+                        when = entry[0]
+                        arg = handle._arg
+                        handle._callback = None
+                        handle._arg = None
+                        handle._where = _FIRED
+                        handle._scheduler = None
+                    if when > self._now:
+                        self._now = when
+                    processed += 1
+                    if arg is _NO_ARG:
+                        callback()
+                    else:
+                        callback(arg)
+        finally:
+            self.events_processed += processed
 
     def stop(self) -> None:
-        """Discard pending events and refuse further scheduling."""
-        self._events.clear()
+        """Discard pending events and refuse further scheduling.
+
+        Queued-but-unstarted tasks are cancelled through :meth:`Task.cancel`
+        (closing their coroutines now) instead of being dropped on the floor
+        to rely on ``__del__`` GC timing.
+        """
         self._stopped = True
+        unstarted: list[Task] = []
+        for entry in self._ready:
+            if entry[2] is Task._step and isinstance(entry[3], Task):
+                unstarted.append(entry[3])
+        self._ready.clear()
+        for entry in self._events:
+            handle = entry[2]
+            callback = handle._callback
+            if callback is None:
+                continue
+            if callback is Task._step and isinstance(handle._arg, Task):
+                unstarted.append(handle._arg)
+            handle._callback = None
+            handle._arg = None
+            handle._where = _DEAD
+            handle._scheduler = None
+        self._events.clear()
+        self._tombstones = 0
+        for handle in self._wheel.drain_handles():
+            if handle._callback is Task._step and isinstance(handle._arg, Task):
+                unstarted.append(handle._arg)
+            handle._callback = None
+            handle._arg = None
+            handle._where = _DEAD
+            handle._scheduler = None
+        for task in unstarted:
+            if not task._started:
+                task.cancel()
 
     # -- structured helpers --------------------------------------------------
 
     async def gather(self, awaitables: Iterable[Awaitable[Any]]) -> list[Any]:
-        """Await all ``awaitables`` concurrently, preserving order of results."""
+        """Await all ``awaitables`` concurrently; results in input order.
+
+        Semantics are pinned regardless of input kind (Task, Future or plain
+        coroutine — coroutines are spawned in input order):
+
+        - waits for **every** input to settle (no orphaned half-run inputs);
+        - on success resolves to the results in input order;
+        - on failure raises the exception of the **lowest-index** failed
+          input (a cancelled input counts as failed with CancelledError),
+          independent of completion order;
+        - an empty iterable resolves immediately to ``[]``.
+        """
         futures: list[Future[Any]] = []
         for item in awaitables:
             if isinstance(item, Task):
@@ -291,9 +838,36 @@ class Scheduler:
                 futures.append(item)
             else:
                 futures.append(self.spawn(item).future)  # type: ignore[arg-type]
-        from .futures import all_of
+        if not futures:
+            return []
+        all_settled: Future[None] = Future("gather")
+        remaining = len(futures)
 
-        return await all_of(futures)
+        def on_settled(_: Future[Any]) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                all_settled.set_result(None)
+
+        for future in futures:
+            future.add_done_callback(on_settled)
+        await all_settled
+        results: list[Any] = []
+        first_error: BaseException | None = None
+        for future in futures:
+            state = future._state
+            if state is _RESOLVED:
+                results.append(future._value)
+                continue
+            results.append(None)
+            if first_error is None:
+                if state is _CANCELLED:
+                    first_error = CancelledError(future.name or "future cancelled")
+                else:
+                    first_error = future._exception
+        if first_error is not None:
+            raise first_error
+        return results
 
 
 def run(coro: Coroutine[Any, Any, Any]) -> Any:

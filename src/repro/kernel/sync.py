@@ -12,7 +12,7 @@ from collections import deque
 from typing import Any, Deque, Generic, TypeVar
 
 from ..errors import MailboxOverflowError
-from .futures import Future, completed
+from .futures import _PENDING, RESOLVED_NONE, Future, completed
 from .scheduler import Scheduler
 
 T = TypeVar("T")
@@ -47,7 +47,7 @@ class Event:
     def wait(self) -> Future[None]:
         """Return a future that resolves once the flag is set."""
         if self._set:
-            return completed(None, "event:set")
+            return RESOLVED_NONE
         waiter: Future[None] = Future("event:wait")
         self._waiters.append(waiter)
         return waiter
@@ -70,7 +70,7 @@ class Lock:
         """Return a future resolving once the lock is held by the caller."""
         if not self._locked:
             self._locked = True
-            return completed(None, "lock:acquired")
+            return RESOLVED_NONE
         waiter: Future[None] = Future("lock:wait")
         self._waiters.append(waiter)
         return waiter
@@ -114,7 +114,7 @@ class Semaphore:
         """Return a future resolving once a permit is granted."""
         if self._value > 0:
             self._value -= 1
-            return completed(None, "sem:acquired")
+            return RESOLVED_NONE
         waiter: Future[None] = Future("sem:wait")
         self._waiters.append(waiter)
         return waiter
@@ -169,21 +169,28 @@ class Queue(Generic[T]):
 
     def put_nowait(self, item: T) -> None:
         """Enqueue ``item``; hand it straight to a waiting getter if any."""
-        while self._getters:
-            getter = self._getters.popleft()
-            if not getter.done():
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter._state is _PENDING:
                 getter.set_result(item)
                 return
-        if self.full():
+        items = self._items
+        if self._maxsize > 0 and len(items) >= self._maxsize:
             raise MailboxOverflowError(
                 f"queue full (maxsize={self._maxsize}); item dropped by caller"
             )
-        self._items.append(item)
+        items.append(item)
 
     def get(self) -> Future[T]:
-        """Return a future resolving to the next item (FIFO)."""
+        """Return a future resolving to the next item (FIFO).
+
+        Hot consumers (the activation pump) should prefer
+        ``if not queue.empty(): queue.get_nowait()`` — the buffered case
+        here still allocates a resolved future per item.
+        """
         if self._items:
-            return completed(self._items.popleft(), "queue:item")
+            return completed(self._items.popleft())
         getter: Future[T] = Future("queue:get")
         self._getters.append(getter)
         return getter

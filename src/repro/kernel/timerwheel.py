@@ -1,0 +1,123 @@
+"""Hierarchical timer wheel for the virtual-time scheduler.
+
+The scheduler's dominant timer traffic is *deadline-shaped*: a timer is armed
+a long way ahead (call deadlines, retry backoffs, lease expirations) and then
+cancelled long before it fires, because the guarded operation completed.  In
+a plain binary heap every one of those timers costs ``O(log n)`` to push and
+— even when cancelled — another pop to discard, and the heap size ``n`` is
+inflated by exactly the cancelled timers still queued.  The wheel makes the
+common case free: a cancelled timer simply stays in its bucket and is
+dropped, without ever touching the heap, when the bucket is flushed.
+
+Layout: three levels of dict-keyed buckets with resolutions of 1 ms, 256 ms
+and 65.536 s (each level spans 256 slots of the previous one; the last level
+is unbounded because buckets are keyed by absolute slot index in a dict, not
+stored in a ring).  A timer is bucketed by its distance from *now* at arming
+time.  Buckets are tracked in one tiny heap of ``(slot_start, level, index)``
+triples — pushed once per distinct bucket, not once per timer.
+
+Exactness: virtual time must fire timers in exact ``(when, seq)`` order, so
+the wheel never fires anything itself.  When the scheduler's next candidate
+event time reaches a bucket's start, the bucket's *live* timers are flushed
+into the scheduler's main event heap keyed by their exact ``(when, seq)``;
+the main heap then interleaves them with ready callbacks as usual.  Because
+a bucket only flushes when it could contain the earliest pending event, the
+main heap stays small (one bucket's worth of live timers) and cancelled
+timers never enter it at all.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .scheduler import TimerHandle
+
+_INF = float("inf")
+
+#: Slot widths per level, in virtual seconds.  Level 0 covers sub-second
+#: sleeps at 1 ms granularity; level 1 covers call deadlines and backoffs;
+#: level 2 covers leases and long horizons.  Spans: 0.256 s / 65.536 s / ∞.
+RESOLUTIONS = (0.001, 0.256, 65.536)
+_INVERSES = (1000.0, 1.0 / 0.256, 1.0 / 65.536)
+_SPAN0 = RESOLUTIONS[0] * 256
+_SPAN1 = RESOLUTIONS[1] * 256
+
+
+class TimerWheel:
+    """Bucketed pending timers; see module docstring for the contract."""
+
+    __slots__ = ("_buckets", "_order", "live", "next_start")
+
+    def __init__(self) -> None:
+        # One dict per level: absolute slot index -> list of handles.
+        self._buckets: tuple[dict, dict, dict] = ({}, {}, {})
+        # (slot_start_time, level, index) per distinct bucket.
+        self._order: list[tuple[float, int, int]] = []
+        #: Count of scheduled-and-not-cancelled handles still in buckets.
+        self.live = 0
+        #: Start time of the earliest bucket (inf when empty) — the scheduler
+        #: compares this against its next candidate event every iteration, so
+        #: it is kept as a plain attribute rather than computed.
+        self.next_start = _INF
+
+    def add(self, handle: "TimerHandle", now: float) -> None:
+        """Bucket ``handle`` by its distance from ``now``."""
+        when = handle.when
+        delta = when - now
+        if delta < _SPAN0:
+            level = 0
+        elif delta < _SPAN1:
+            level = 1
+        else:
+            level = 2
+        index = int(when * _INVERSES[level])
+        buckets = self._buckets[level]
+        bucket = buckets.get(index)
+        if bucket is None:
+            buckets[index] = [handle]
+            start = index * RESOLUTIONS[level]
+            heappush(self._order, (start, level, index))
+            if start < self.next_start:
+                self.next_start = start
+        else:
+            bucket.append(handle)
+        self.live += 1
+
+    def flush(self, threshold: float, events: list) -> None:
+        """Move live timers from every due bucket into the main event heap.
+
+        A bucket is due when its start time is ``<= threshold``; when
+        ``threshold`` is infinite (no other pending events) only the
+        earliest bucket group is flushed, so far-future timers stay
+        bucketed.  Cancelled handles are dropped here — this is the path
+        that never touches the heap.
+        """
+        order = self._order
+        if not order:
+            return
+        if threshold == _INF:
+            threshold = order[0][0]
+        while order and order[0][0] <= threshold:
+            _, level, index = heappop(order)
+            for handle in self._buckets[level].pop(index):
+                if handle._callback is not None:
+                    handle._where = 1  # heap
+                    heappush(events, (handle.when, handle.seq, handle))
+                    self.live -= 1
+        self.next_start = order[0][0] if order else _INF
+
+    def drain_handles(self) -> list:
+        """Remove and return every live handle (scheduler ``stop()`` path)."""
+        handles: list = []
+        for buckets in self._buckets:
+            for bucket in buckets.values():
+                for handle in bucket:
+                    if handle._callback is not None:
+                        handles.append(handle)
+            buckets.clear()
+        self._order.clear()
+        self.live = 0
+        self.next_start = _INF
+        return handles

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..kernel.futures import _PENDING as _F_PENDING
 from ..kernel.futures import Future
 from ..kernel.scheduler import Scheduler
 from .network import Network
@@ -94,7 +95,15 @@ class EnvelopeBatcher:
         number of messages that shared the envelope.
         """
         pair = (source, target)
-        ticket: Future[tuple[float, int]] = Future(f"envelope:{source}->{target}")
+        # One ticket per message: constructor frame and per-message name
+        # formatting elided (the path is identified by the spawn names).
+        ticket: Future[tuple[float, int]] = Future.__new__(Future)
+        ticket._state = _F_PENDING
+        ticket._value = None
+        ticket._exception = None
+        ticket._cb0 = None
+        ticket._callbacks = None
+        ticket.name = "envelope"
         joined_at = self.scheduler.now
         envelope = self._open.get(pair)
         fresh = envelope is None
@@ -155,7 +164,7 @@ class EnvelopeBatcher:
         self.flushes += 1
         cohort = len(envelope.members)
         previous = self._last_delivered.get(pair)
-        delivered: Future[None] = Future(f"delivered:{pair[0]}->{pair[1]}")
+        delivered: Future[None] = Future("delivered")
         self._last_delivered[pair] = delivered
         try:
             delay = self.network.plan_envelope(pair[0], pair[1], cohort)

@@ -54,7 +54,8 @@ class NetworkStats:
         self.envelopes += 1
         if count > 1:
             self.batched_messages += count
-        self.largest_envelope = max(self.largest_envelope, count)
+        if count > self.largest_envelope:
+            self.largest_envelope = count
 
 
 class Network:
@@ -75,10 +76,18 @@ class Network:
         self._overrides: dict[tuple[str, str], LatencyModel] = {}
         self.faults: NetworkFaultInjector | None = None
         self.partitions: PartitionInjector | None = None
+        #: Latched True forever once any fault injector has been attached.
+        #: Consumers that are only safe under exactly-once delivery (the
+        #: runtime's invocation freelist) check this instead of ``faults``,
+        #: because a detached injector may already have duplicated messages
+        #: whose second delivery is still in flight.
+        self.ever_faulted = False
         self.stats = NetworkStats()
 
     def inject_faults(self, injector: NetworkFaultInjector | None) -> None:
         """Attach (or, with None, detach) a chaos fault injector."""
+        if injector is not None:
+            self.ever_faulted = True
         self.faults = injector
 
     def inject_partitions(self, injector: PartitionInjector | None) -> None:
@@ -109,9 +118,10 @@ class Network:
 
     def latency_for(self, source: str, target: str) -> float:
         """Sample the delay for one message from ``source`` to ``target``."""
-        override = self._overrides.get((source, target))
-        if override is not None:
-            return override.sample(self._rng)
+        if self._overrides:
+            override = self._overrides.get((source, target))
+            if override is not None:
+                return override.sample(self._rng)
         if source == target:
             return self.loopback_model.sample(self._rng)
         return self.lan_model.sample(self._rng)
@@ -144,7 +154,16 @@ class Network:
         a message dropped on the wire.  Only a caller-side deadline turns
         that silence into an error.
         """
-        return await self.transfer_many(source, target, 1)
+        # transfer_many(source, target, 1) with the inner coroutine elided:
+        # this runs once per unbatched message and once per reply.
+        delay = self.plan_envelope(source, target, 1)
+        if delay is None:
+            lost: Future[None] = Future(f"lost:{source}->{target}")
+            await lost
+            return 0.0  # pragma: no cover - the future never resolves
+        if delay > 0:
+            await self._scheduler.sleep(delay)
+        return delay
 
     def plan_envelope(self, source: str, target: str, count: int) -> float | None:
         """Commit one envelope of ``count`` messages to the wire.
@@ -156,24 +175,50 @@ class Network:
         arrive, or ``None`` when it was lost — the caller then parks the
         affected messages on futures nothing resolves.
         """
-        if source not in self._endpoints:
+        # The body below is partitioned() + latency_for() + stats.record()
+        # inlined: this runs once per unbatched message and once per reply,
+        # so the method-call fan-out is part of the per-message bill.
+        endpoints = self._endpoints
+        if source not in endpoints:
             raise KeyError(f"unknown source endpoint {source!r}")
-        if target not in self._endpoints:
+        if target not in endpoints:
             raise KeyError(f"unknown target endpoint {target!r}")
-        if self.partitioned(source, target):
-            self.partitions.record_blocked(count)
-            self.stats.partitioned_messages += count
-            self.stats.lost_messages += count
-            return None
-        if self.faults is not None and self.faults.drops(
+        stats = self.stats
+        partitions = self.partitions
+        if partitions is not None and partitions.blocks(
             source, target, self._scheduler.now
         ):
-            self.stats.lost_messages += count
+            partitions.record_blocked(count)
+            stats.partitioned_messages += count
+            stats.lost_messages += count
             return None
-        delay = self.latency_for(source, target)
-        if self.faults is not None:
-            delay += self.faults.extra_delay_for(source, target, self._scheduler.now)
-        self.stats.record(source, source == target, delay, count)
+        faults = self.faults
+        if faults is not None and faults.drops(source, target, self._scheduler.now):
+            stats.lost_messages += count
+            return None
+        loopback = source == target
+        override = self._overrides.get((source, target)) if self._overrides else None
+        if override is not None:
+            delay = override.sample(self._rng)
+        elif loopback:
+            delay = self.loopback_model.sample(self._rng)
+        else:
+            delay = self.lan_model.sample(self._rng)
+        if faults is not None:
+            delay += faults.extra_delay_for(source, target, self._scheduler.now)
+        stats.messages += count
+        if loopback:
+            stats.loopback_messages += count
+        else:
+            stats.remote_messages += count
+        stats.total_latency += delay * count
+        sent = stats.per_endpoint_sent
+        sent[source] = sent.get(source, 0) + count
+        stats.envelopes += 1
+        if count > 1:
+            stats.batched_messages += count
+        if count > stats.largest_envelope:
+            stats.largest_envelope = count
         return delay
 
     async def transfer_many(self, source: str, target: str, count: int) -> float:

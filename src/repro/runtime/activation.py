@@ -21,7 +21,7 @@ from ..errors import (
 from ..kernel.scheduler import Task
 from ..kernel.sync import Event, Queue
 from ..storage.serde import snapshot
-from .actor import Actor, ActorContext, method_options
+from .actor import DEFAULT_METHOD_OPTIONS, Actor, ActorContext, method_options
 from .key import ActorKey
 from .messages import Invocation
 from .persistence import StateCell, WritePolicy
@@ -48,6 +48,10 @@ class Activation:
         self._predecessor_closed = predecessor_closed
         self.actor_class = actor_class
         self.key = key
+        # The qualified name and the one-element chain suffix are needed on
+        # every turn (reentrancy detection, chain extension); format once.
+        self._qualified = key.qualified()
+        self._self_chain = (self._qualified,)
         self.silo = silo
         context = ActorContext(runtime, key, silo.silo_id)
         context.activation = self  # type: ignore[attr-defined]
@@ -71,12 +75,17 @@ class Activation:
         self.active_span: Any = None
         self.last_used = runtime.scheduler.now
         self.messages_handled = 0
+        # Per-method dispatch cache: method name -> (bound method, options,
+        # resolved base cost).  Everything cached is stable for the life of
+        # the activation (config.method_costs is fixed at construction), so
+        # the getattr chain and cost resolution run once per method name.
+        self._method_cache: dict[str, tuple[Any, dict[str, Any], float]] = {}
         self._inflight = 0
         self._idle_event = Event(runtime.scheduler)
         self._idle_event.set()
         self._timers: dict[str, Task] = {}
         self._pump_task = runtime.scheduler.spawn(
-            self._pump(), name=f"pump:{key.qualified()}"
+            self._pump(), name=f"pump:{self._qualified}"
         )
 
     # -- enqueue ---------------------------------------------------------------
@@ -90,13 +99,13 @@ class Activation:
         Orleans' call-chain reentrancy) or rejected loudly.
         """
         if self.closing:
-            raise ActorDeactivatedError(self.key.qualified())
+            raise ActorDeactivatedError(self._qualified)
         if self.parked is not None:
             raise self.parked
         if (
             not self.instance.reentrant
             and self._inflight > 0
-            and self.key.qualified() in invocation.chain
+            and self._qualified in invocation.chain
         ):
             if getattr(self.actor_class, "allow_chain_reentrancy", False):
                 invocation.enqueued_at = self.runtime.scheduler.now
@@ -175,28 +184,37 @@ class Activation:
             self.runtime._activation_failed(self, exc)
             self.closed.set()
             return
+        mailbox = self.mailbox
+        empty = mailbox.empty
+        get_nowait = mailbox.get_nowait
+        handle = self._handle
+        reply = self.runtime._reply
+        silo_id = self.silo.silo_id
         while True:
-            message = await self.mailbox.get()
+            # Buffered fast path: skip the future a plain get() allocates.
+            if not empty():
+                message = get_nowait()
+            else:
+                message = await mailbox.get()
             if message is _CLOSE:
                 break
             if self.instance.reentrant:
                 self._inflight += 1
                 self._idle_event.clear()
                 self.runtime.scheduler.spawn(
-                    self._handle_tracked(message),
-                    name=f"handle:{message.describe()}",
+                    self._handle_tracked(message), name="handle"
                 )
             else:
                 self._inflight += 1
                 self._idle_event.clear()
                 try:
-                    await self._handle(message)
+                    await handle(message)
                 except (GeneratorExit, CancelledError):
                     raise  # the pump itself is being torn down
                 except BaseException as exc:  # noqa: BLE001 - pump must live
                     # Nothing _handle raises should be able to kill the
                     # mailbox pump; fail the message, keep serving.
-                    self.runtime._reply(message, None, exc, self.silo.silo_id)
+                    reply(message, None, exc, silo_id)
                 finally:
                     self._inflight -= 1
                     if self._inflight == 0:
@@ -219,19 +237,18 @@ class Activation:
                 self._idle_event.set()
 
     async def _handle(self, invocation: Invocation) -> None:
-        self.last_used = self.runtime.scheduler.now
-        invocation.started_at = self.last_used
+        runtime = self.runtime
+        scheduler = runtime.scheduler
+        self.last_used = started = scheduler.now
+        invocation.started_at = started
         span = invocation.span
         if span is not None and span.end is None:
             # Mailbox wait: from enqueue until this turn started.  For the
             # first message of a fresh activation this includes activation
             # start (CPU charge, state load, on_activate).
-            span.queue += invocation.started_at - invocation.enqueued_at
+            span.queue += started - invocation.enqueued_at
             span.silo_id = self.silo.silo_id
-        if (
-            invocation.deadline is not None
-            and self.last_used >= invocation.deadline
-        ):
+        if invocation.deadline is not None and started >= invocation.deadline:
             # The caller's deadline already failed the reply (the deadline
             # timer sorts before this dequeue at equal timestamps); running
             # the method would only burn silo CPU on an abandoned request.
@@ -239,73 +256,87 @@ class Activation:
         # Continuous profiling: fetch this turn's two accumulation rows once
         # (method-level and activation-level); every charge below adds plain
         # floats into them.  Disabled costs one attribute read.
-        profiler = self.runtime.profiler
+        profiler = runtime.profiler
         if profiler.enabled:
             profiler.turns += 1
             mprof = profiler.method_record(self.key.type_name, invocation.method)
             aprof = profiler.activation_record(self.key)
             mprof.calls += 1
             aprof.calls += 1
-            mailbox_wait = invocation.started_at - invocation.enqueued_at
+            mailbox_wait = started - invocation.enqueued_at
             mprof.queue_wait += mailbox_wait
             aprof.queue_wait += mailbox_wait
             profile = (mprof, aprof)
         else:
             mprof = aprof = profile = None
-        method = getattr(self.instance, invocation.method, None)
-        options = {"cost": None, "read_only": False}
         error: BaseException | None = None
         result: Any = None
-        if invocation.method == "__flush_state__":
-            try:
-                flush_started = self.runtime.scheduler.now
-                await self._flush_if_dirty()
-                flush_elapsed = self.runtime.scheduler.now - flush_started
-                if span is not None and span.end is None:
-                    span.storage += flush_elapsed
-                if mprof is not None:
-                    mprof.storage_wait += flush_elapsed
-                    aprof.storage_wait += flush_elapsed
-                self.runtime._reply(invocation, None, None, self.silo.silo_id)
-            except Exception as exc:  # noqa: BLE001 - storage failure
-                # A timer-driven flush failed (e.g. storage throttling):
-                # record it; the state stays dirty and the next interval
-                # retries.
-                self.runtime._reply(invocation, None, exc, self.silo.silo_id)
-            return
-        if invocation.method == "__txn_snapshot__":
-            # Transactional undo logging: hand the coordinator an isolated
-            # copy of this actor's transactional state.
-            self.runtime._reply(
-                invocation, snapshot(self.instance.state), None, self.silo.silo_id
-            )
-            return
-        if invocation.method == "__txn_restore__":
-            document = invocation.args[0]
-            self.instance.state.clear()
-            self.instance.state.update(document)
-            self.instance.mark_dirty()
-            self.runtime._reply(invocation, True, None, self.silo.silo_id)
-            return
-        if method is None or invocation.method.startswith("_"):
+        method_name = invocation.method
+        # System pseudo-methods all start with an underscore; application
+        # methods essentially never do, so one character test stands in for
+        # three string comparisons on the hot path.
+        if method_name and method_name[0] == "_":
+            if method_name == "__flush_state__":
+                try:
+                    flush_started = scheduler.now
+                    await self._flush_if_dirty()
+                    flush_elapsed = scheduler.now - flush_started
+                    if span is not None and span.end is None:
+                        span.storage += flush_elapsed
+                    if mprof is not None:
+                        mprof.storage_wait += flush_elapsed
+                        aprof.storage_wait += flush_elapsed
+                    runtime._reply(invocation, None, None, self.silo.silo_id)
+                except Exception as exc:  # noqa: BLE001 - storage failure
+                    # A timer-driven flush failed (e.g. storage throttling):
+                    # record it; the state stays dirty and the next interval
+                    # retries.
+                    runtime._reply(invocation, None, exc, self.silo.silo_id)
+                return
+            if method_name == "__txn_snapshot__":
+                # Transactional undo logging: hand the coordinator an
+                # isolated copy of this actor's transactional state.
+                runtime._reply(
+                    invocation, snapshot(self.instance.state), None, self.silo.silo_id
+                )
+                return
+            if method_name == "__txn_restore__":
+                document = invocation.args[0]
+                self.instance.state.clear()
+                self.instance.state.update(document)
+                self.instance.mark_dirty()
+                runtime._reply(invocation, True, None, self.silo.silo_id)
+                return
+        entry = self._method_cache.get(method_name)
+        if entry is None:
+            method = getattr(self.instance, method_name, None)
+            if method is None or method_name.startswith("_"):
+                entry = (None, DEFAULT_METHOD_OPTIONS, 0.0)
+            else:
+                options = method_options(
+                    getattr(self.actor_class, method_name, method)
+                )
+                cost = runtime.config.method_costs.get(
+                    (self.key.type_name, method_name)
+                )
+                if cost is None:
+                    cost = options["cost"]
+                if cost is None:
+                    cost = (
+                        self.actor_class.default_method_cost
+                        if self.actor_class.default_method_cost is not None
+                        else runtime.config.default_method_cost
+                    )
+                entry = (method, options, cost)
+            self._method_cache[method_name] = entry
+        method, options, cost = entry
+        if method is None:
             error = ActorMethodError(
-                f"{self.actor_class.__name__} has no method {invocation.method!r}"
+                f"{self.actor_class.__name__} has no method {method_name!r}"
             )
         else:
-            options = method_options(getattr(self.actor_class, invocation.method, method))
-            cost = self.runtime.config.method_costs.get(
-                (self.key.type_name, invocation.method)
-            )
-            if cost is None:
-                cost = options["cost"]
-            if cost is None:
-                cost = (
-                    self.actor_class.default_method_cost
-                    if self.actor_class.default_method_cost is not None
-                    else self.runtime.config.default_method_cost
-                )
             if cost > 0:
-                overhead = self.runtime.config.dispatch_overhead_cost
+                overhead = runtime.config.dispatch_overhead_cost
                 if overhead > 0 and invocation.batch_cohort > 1:
                     # The cost model splits every method charge into
                     # per-message dispatch overhead plus application work;
@@ -315,15 +346,18 @@ class Activation:
                     # to the unbatched runtime.
                     shared = min(overhead, cost)
                     cost = (cost - shared) + shared / invocation.batch_cohort
-                cpu_started = self.runtime.scheduler.now
+                cpu_started = scheduler.now
                 await self.silo.cpu.consume(cost, profile=profile)
                 if span is not None and span.end is None:
                     # Core-queueing plus service: the silo-contention signal.
-                    span.cpu += self.runtime.scheduler.now - cpu_started
+                    span.cpu += scheduler.now - cpu_started
             if not self.instance.reentrant:
                 # Sub-calls made by this turn carry the extended chain, so
                 # cycles back into this (busy) actor are detectable.
-                self.active_chain = invocation.chain + (self.key.qualified(),)
+                chain = invocation.chain
+                self.active_chain = (
+                    chain + self._self_chain if chain else self._self_chain
+                )
             self.active_span = span
             try:
                 result = await method(*invocation.args, **invocation.kwargs)
@@ -335,7 +369,7 @@ class Activation:
                 self.active_chain = ()
                 self.active_span = None
         self.messages_handled += 1
-        self.last_used = self.runtime.scheduler.now
+        self.last_used = scheduler.now
         if (
             error is None
             and self.actor_class.durable
@@ -344,9 +378,9 @@ class Activation:
         ):
             self.instance.mark_dirty()
             try:
-                flush_started = self.runtime.scheduler.now
+                flush_started = scheduler.now
                 await self._flush_if_dirty()
-                flush_elapsed = self.runtime.scheduler.now - flush_started
+                flush_elapsed = scheduler.now - flush_started
                 if span is not None and span.end is None:
                     span.storage += flush_elapsed
                 if mprof is not None:
@@ -360,7 +394,7 @@ class Activation:
         if mprof is not None and error is not None:
             mprof.errors += 1
             aprof.errors += 1
-        self.runtime._reply(invocation, result, error, self.silo.silo_id)
+        runtime._reply(invocation, result, error, self.silo.silo_id)
 
     async def _flush_if_dirty(self) -> None:
         cell = self.instance._state_cell

@@ -59,9 +59,13 @@ def actor_method(
     return decorate
 
 
+#: Shared default options for undecorated methods — callers only read it.
+DEFAULT_METHOD_OPTIONS: dict[str, Any] = {"cost": None, "read_only": False}
+
+
 def method_options(func: Callable) -> dict[str, Any]:
     """Return the options attached by :func:`actor_method` (or defaults)."""
-    return getattr(func, _METHOD_MARKER, {"cost": None, "read_only": False})
+    return getattr(func, _METHOD_MARKER, DEFAULT_METHOD_OPTIONS)
 
 
 class ActorContext:

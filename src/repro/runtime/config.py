@@ -86,6 +86,14 @@ class RuntimeConfig:
     # through GrainDirectory subscriptions (eviction, migration, repair).
     enable_directory_cache: bool = True
 
+    # Recycle Invocation envelopes through a bounded freelist instead of
+    # allocating one per message.  Safe only under exactly-once delivery:
+    # the runtime latches pooling off permanently the moment a network
+    # fault injector is attached (duplicated deliveries alias one envelope)
+    # and never recycles deadline-expired asks.
+    pool_invocations: bool = True
+    invocation_pool_capacity: int = 4096
+
     # Group-commit write-behind: state flushes issued within the same
     # window collapse into one storage round trip (KeyValueStore.put_many)
     # while every caller still awaits real durability before its ack.

@@ -53,6 +53,9 @@ class StateCell:
         journal: "RedoJournal | None" = None,
     ) -> None:
         self._key = key
+        # The storage key is a pure function of the actor key; format it
+        # once instead of per load/flush.
+        self._storage_key = key.storage_key()
         self._store = store
         # Optional group-commit path: flushes join a commit window instead
         # of paying their own storage round trip.  Durability is identical —
@@ -86,7 +89,7 @@ class StateCell:
         document: the recovered state is dirty (it has not been flushed) but
         no longer lost.
         """
-        storage_key = self._key.storage_key()
+        storage_key = self._storage_key
         if self.fence is not None:
             await self._store.advance_fence(storage_key, self.fence)
             if self._journal is not None:
@@ -117,7 +120,7 @@ class StateCell:
         """
         if not self.dirty:
             return
-        storage_key = self._key.storage_key()
+        storage_key = self._storage_key
         if self._writer is not None and not direct:
             self._etag = await self._writer.put(
                 storage_key, self.document, expected_etag=self._etag, fence=self.fence
@@ -137,7 +140,7 @@ class StateCell:
 
     async def clear(self) -> None:
         """Delete the stored document (actor-level hard delete)."""
-        await self._store.delete(self._key.storage_key())
+        await self._store.delete(self._storage_key)
         self.document = {}
         self._etag = 0
         self.dirty = False

@@ -31,7 +31,9 @@ from ..errors import (
     SiloUnavailableError,
     UnknownActorTypeError,
 )
+from ..kernel.futures import _PENDING as _F_PENDING
 from ..kernel.futures import Future
+from ..kernel.pool import FreeList
 from ..kernel.rng import RngRegistry
 from ..kernel.scheduler import Scheduler, Task
 from ..net.batching import EnvelopeBatcher
@@ -63,6 +65,34 @@ CLIENT_ENDPOINT = "client"
 # the membership table.  The runtime consults the injector directly for
 # lease refreshes and fence acquisition.
 SYSTEM_STORE_ENDPOINT = "system-store"
+
+
+#: Placeholder target for envelopes parked in the invocation freelist; a
+#: recycled envelope must hold no reference to any real actor key.
+_POOL_KEY = ActorKey("__pool__", "__pool__")
+
+
+def _new_invocation() -> Invocation:
+    """Freelist factory: a blank envelope (fields set by _make_invocation)."""
+    return Invocation(target=_POOL_KEY, method="")
+
+
+def _reset_invocation(invocation: Invocation) -> None:
+    """Freelist reset: scrub *every* field so no state leaks between uses."""
+    invocation.target = _POOL_KEY
+    invocation.method = ""
+    invocation.args = ()
+    invocation.kwargs = {}
+    invocation.caller_endpoint = ""
+    invocation.one_way = False
+    invocation.reply = None
+    invocation.chain = ()
+    invocation.deadline = None
+    invocation.sent_at = 0.0
+    invocation.enqueued_at = 0.0
+    invocation.started_at = 0.0
+    invocation.batch_cohort = 1
+    invocation.span = None
 
 
 @dataclass
@@ -146,6 +176,10 @@ class AodbRuntime:
         # Per-endpoint directory caches on the send path, invalidated via
         # directory subscription (created lazily, one per caller endpoint).
         self._directory_caches: dict[str, DirectoryCache] = {}
+        # Interned ActorKeys: ref() runs once per outbound call, and keys
+        # are immutable pure values, so the frozen-dataclass construction
+        # (+ validation) is paid once per distinct actor instead of per call.
+        self._actor_keys: dict[tuple[str, str], ActorKey] = {}
         # Ingestion fast path: coalesce same-path deliveries into envelopes.
         self._batcher: EnvelopeBatcher | None = None
         if self.config.enable_batching:
@@ -161,6 +195,15 @@ class AodbRuntime:
             fallback=self.config.placement_fallback,
         )
         self.stats = RuntimeStats()
+        # Invocation freelist: recycles message envelopes on the two paths
+        # that are provably last to touch them (see _release_invocation).
+        # Checked against network.ever_faulted before every release because
+        # chaos duplication makes two deliveries alias one envelope.
+        self._invocation_pool: FreeList[Invocation] = FreeList(
+            _new_invocation,
+            _reset_invocation,
+            capacity=self.config.invocation_pool_capacity,
+        )
         self._actor_types: dict[str, type[Actor]] = {}
         self._silos: dict[str, Silo] = {}
         self._collector_task: Task | None = None
@@ -821,10 +864,13 @@ class AodbRuntime:
         trace: Span | None = None,
     ) -> ActorRef:
         """A reference to the virtual actor ``type_name/actor_id``."""
-        self.actor_type(type_name)  # fail fast on unknown types
-        return ActorRef(
-            self, ActorKey(type_name, actor_id), caller_endpoint, chain, trace=trace
-        )
+        pair = (type_name, actor_id)
+        key = self._actor_keys.get(pair)
+        if key is None:
+            self.actor_type(type_name)  # fail fast on unknown types
+            key = ActorKey(type_name, actor_id)
+            self._actor_keys[pair] = key
+        return ActorRef(self, key, caller_endpoint, chain, trace=trace)
 
     def send(
         self,
@@ -863,12 +909,18 @@ class AodbRuntime:
                 span.attempt = attempt
             invocation.span = span
         invocation.deadline = deadline_at
-        invocation.reply = Future(f"reply:{invocation.describe()}")
+        # Future() with the constructor frame elided: one reply per ask.
+        reply: Future[Any] = Future.__new__(Future)
+        reply._state = _F_PENDING
+        reply._value = None
+        reply._exception = None
+        reply._cb0 = None
+        reply._callbacks = None
+        reply.name = "reply"
+        invocation.reply = reply
         if deadline_at is not None:
             self._arm_deadline(invocation, deadline_at)
-        self.scheduler.spawn(
-            self._deliver(invocation), name=f"deliver:{invocation.describe()}"
-        )
+        self.scheduler.spawn(self._deliver(invocation), name="deliver")
         return invocation.reply
 
     def _arm_deadline(self, invocation: Invocation, deadline_at: float) -> None:
@@ -890,7 +942,11 @@ class AodbRuntime:
                     error="deadline exceeded",
                 )
 
-        self.scheduler.call_at(deadline_at, expire)
+        # The timer must not outlive the call: deadline-wrapped asks almost
+        # always resolve early, and an uncancelled timer per ask is exactly
+        # the heap leak Scheduler.timeout used to have.  Cancel on reply.
+        handle = self.scheduler.call_at(deadline_at, expire)
+        reply.add_done_callback(lambda _done: handle.cancel())
 
     def send_resilient(
         self,
@@ -921,7 +977,7 @@ class AodbRuntime:
                 chain=chain, deadline_at=deadline_at, parent_span=parent_span,
             )
         retry.validate()
-        outer: Future[Any] = Future(f"resilient:{key}.{method}()")
+        outer: Future[Any] = Future("resilient")
         backoff_rng = self.rng.stream("retry")
         # Retried asks get an umbrella span; each attempt hangs under it, so
         # the trace shows attempts (with their own breakdowns) *and* the
@@ -993,7 +1049,7 @@ class AodbRuntime:
                 self.tracer.finish(call_span, self.scheduler.now)
                 return
 
-        self.scheduler.spawn(drive(), name=f"retry:{key}.{method}()")
+        self.scheduler.spawn(drive(), name="retry")
         return outer
 
     def send_one_way(
@@ -1025,9 +1081,7 @@ class AodbRuntime:
                 parent=parent_span,
                 method=method,
             )
-        self.scheduler.spawn(
-            self._deliver(invocation), name=f"deliver:{invocation.describe()}"
-        )
+        self.scheduler.spawn(self._deliver(invocation), name="deliver")
         return DeliveryReceipt(key, method, self.scheduler.now)
 
     def _make_invocation(
@@ -1043,16 +1097,43 @@ class AodbRuntime:
         if self.config.copy_messages:
             args = tuple(snapshot(arg) for arg in args)
             kwargs = {name: snapshot(value) for name, value in kwargs.items()}
+        else:
+            kwargs = dict(kwargs)
+        if self.config.pool_invocations and not self.network.ever_faulted:
+            invocation = self._invocation_pool.acquire()
+            invocation.target = key
+            invocation.method = method
+            invocation.args = args
+            invocation.kwargs = kwargs
+            invocation.caller_endpoint = caller_endpoint
+            invocation.one_way = one_way
+            invocation.sent_at = self.scheduler.now
+            invocation.chain = chain
+            return invocation
         return Invocation(
             target=key,
             method=method,
             args=args,
-            kwargs=dict(kwargs),
+            kwargs=kwargs,
             caller_endpoint=caller_endpoint,
             one_way=one_way,
             sent_at=self.scheduler.now,
             chain=chain,
         )
+
+    def _release_invocation(self, invocation: Invocation) -> None:
+        """Recycle a message envelope once nothing can touch it again.
+
+        Called from exactly two places — the one-way tail of :meth:`_reply`
+        (handling is over the moment the method returns) and the end of the
+        ask reply path (after the reply future resolved).  Deadline-expired
+        asks are deliberately never released: the expiry closure may still
+        hold the envelope.  Pooling latches off forever once a network
+        fault injector has been attached, because duplicated deliveries
+        alias one envelope.
+        """
+        if self.config.pool_invocations and not self.network.ever_faulted:
+            self._invocation_pool.release(invocation)
 
     # -- dispatch ---------------------------------------------------------------------
 
@@ -1069,7 +1150,9 @@ class AodbRuntime:
         """Find or create (synchronously) the activation for ``key``."""
         cache: DirectoryCache | None = None
         if self.config.enable_directory_cache:
-            cache = self._directory_cache(caller_endpoint)
+            cache = self._directory_caches.get(caller_endpoint)
+            if cache is None:
+                cache = self._directory_cache(caller_endpoint)
             cached = cache.get(key)
             if cached is not None:
                 # A hit only short-circuits the *happy* path: the silo must
@@ -1179,7 +1262,8 @@ class AodbRuntime:
 
     async def _deliver(self, invocation: Invocation) -> None:
         while True:
-            if invocation.reply is not None and invocation.reply.done():
+            reply = invocation.reply
+            if reply is not None and reply._state is not _F_PENDING:
                 # A deadline (or chaos) already resolved the caller's
                 # future; re-delivering would execute an abandoned request
                 # on the successor activation after a partition repair.
@@ -1212,7 +1296,7 @@ class AodbRuntime:
                 continue
             try:
                 activation.enqueue(invocation)
-                if self.network.should_duplicate(
+                if self.network.faults is not None and self.network.should_duplicate(
                     invocation.caller_endpoint, activation.silo.silo_id
                 ):
                     # Chaos: the same invocation arrives twice.  A duplicate
@@ -1269,35 +1353,61 @@ class AodbRuntime:
                 status="error" if error is not None else "ok",
                 error=str(error) if error is not None else "",
             )
+            self._release_invocation(invocation)
             return
 
-        async def reply_path() -> None:
-            delay = await self.network.transfer(from_silo, invocation.caller_endpoint)
-            span = invocation.span
-            if span is not None and span.end is None:
-                span.network += delay
-            if invocation.reply.done():
-                # Deadline or chaos already resolved the caller's future;
-                # the span was finished by whoever resolved it.
-                return
-            if error is not None:
-                invocation.reply.set_exception(error)
-            else:
-                payload = snapshot(result) if self.config.copy_messages else result
-                invocation.reply.set_result(payload)
-            self.stats.replies += 1
-            if self.profiler.enabled:
-                self._ask_latency.observe(
-                    self.scheduler.now - invocation.sent_at
-                )
-            self.tracer.finish(
-                span,
-                self.scheduler.now,
-                status="error" if error is not None else "ok",
-                error=str(error) if error is not None else "",
-            )
+        # Pass everything the reply needs as arguments (stored in the
+        # coroutine frame — no closure/cell allocation per reply): once the
+        # reply future resolves, the invocation object may be recycled
+        # through the runtime's freelist and must not be touched, so the
+        # fields are captured here, before any await.
+        self.scheduler.spawn(
+            self._reply_path(
+                invocation,
+                invocation.reply,
+                invocation.span,
+                invocation.sent_at,
+                invocation.caller_endpoint,
+                result,
+                error,
+                from_silo,
+            ),
+            name="reply",
+        )
 
-        self.scheduler.spawn(reply_path(), name=f"reply:{invocation.describe()}")
+    async def _reply_path(
+        self,
+        invocation: Invocation,
+        reply: "Future[Any]",
+        span: Any,
+        sent_at: float,
+        caller_endpoint: str,
+        result: Any,
+        error: BaseException | None,
+        from_silo: str,
+    ) -> None:
+        delay = await self.network.transfer(from_silo, caller_endpoint)
+        if span is not None and span.end is None:
+            span.network += delay
+        if reply._state is not _F_PENDING:
+            # Deadline or chaos already resolved the caller's future;
+            # the span was finished by whoever resolved it.
+            return
+        if error is not None:
+            reply.set_exception(error)
+        else:
+            payload = snapshot(result) if self.config.copy_messages else result
+            reply.set_result(payload)
+        self.stats.replies += 1
+        if self.profiler.enabled:
+            self._ask_latency.observe(self.scheduler.now - sent_at)
+        self.tracer.finish(
+            span,
+            self.scheduler.now,
+            status="error" if error is not None else "ok",
+            error=str(error) if error is not None else "",
+        )
+        self._release_invocation(invocation)
 
     def _activation_failed(self, activation: Activation, exc: BaseException) -> None:
         self.stats.activation_failures += 1

@@ -76,12 +76,17 @@ class _ChannelBase(Actor):
 
     def _store_points(self, points: list[tuple[float, float]]) -> int:
         """Append readings to the window; archive evicted ones."""
-        evicted = []
-        for timestamp, value in points:
-            evicted.extend(self.window.append(DataPoint(timestamp, value)))
-            self.change.observe(value)
-            if timestamp > self._last_ts:
-                self._last_ts = timestamp
+        if not points:
+            return 0
+        evicted = self.window.append_many(
+            [DataPoint(timestamp, value) for timestamp, value in points]
+        )
+        self.change.observe_pairs(points)
+        # append_many validated the batch is time-ordered, so the last
+        # timestamp is the batch maximum.
+        last = points[-1][0]
+        if last > self._last_ts:
+            self._last_ts = last
         if evicted:
             archive = getattr(self.context.runtime, "archive", None)
             if archive is not None:

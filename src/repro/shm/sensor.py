@@ -86,12 +86,13 @@ class Sensor(Actor):
         measured latency covers the full ingestion pipeline, as in the
         paper's benchmark.
         """
-        known = set(self.state.get("channel_ids", ()))
-        unknown = set(batches) - known
-        if unknown:
-            raise UnknownEntityError(
-                f"sensor {self.actor_id}: unknown channels {sorted(unknown)}"
-            )
+        known = self.state.get("channel_ids", ())
+        for channel_id in batches:
+            if channel_id not in known:
+                unknown = sorted(set(batches) - set(known))
+                raise UnknownEntityError(
+                    f"sensor {self.actor_id}: unknown channels {unknown}"
+                )
         if self.state.get("dedup_ingest"):
             watermarks = self.state.setdefault("ingest_watermark", {})
             fresh_batches: dict[str, list[tuple[float, float]]] = {}

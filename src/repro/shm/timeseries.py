@@ -51,16 +51,28 @@ class DataWindow:
             del self._stamps[: self._head]
             self._head = 0
 
+    #: Shared result for the (overwhelmingly common) no-eviction append.
+    #: Callers must treat the returned list as read-only.
+    _NO_EVICTIONS: list[DataPoint] = []
+
     def append(self, point: DataPoint) -> list[DataPoint]:
-        """Add one point; returns any evicted (oldest) points."""
-        if self._stamps and point.timestamp < self._stamps[-1]:
+        """Add one point; returns any evicted (oldest) points.
+
+        The returned list is owned by the window — callers must not mutate
+        it (the empty case is a shared singleton to keep the ingestion hot
+        path allocation-free).
+        """
+        stamps = self._stamps
+        if stamps and point.timestamp < stamps[-1]:
             raise ValueError(
                 f"out-of-order point: {point.timestamp} after "
-                f"{self._stamps[-1]}"
+                f"{stamps[-1]}"
             )
         self._points.append(point)
-        self._stamps.append(point.timestamp)
+        stamps.append(point.timestamp)
         self.total_appended += 1
+        if len(self._points) - self._head <= self.capacity:
+            return self._NO_EVICTIONS
         evicted = []
         while len(self._points) - self._head > self.capacity:
             evicted.append(self._points[self._head])
@@ -73,6 +85,37 @@ class DataWindow:
         evicted: list[DataPoint] = []
         for point in points:
             evicted.extend(self.append(point))
+        return evicted
+
+    def append_many(self, points: list[DataPoint]) -> list[DataPoint]:
+        """Bulk :meth:`append` in one frame (the ingestion hot path).
+
+        Semantically identical to appending each point in turn — same order
+        validation, same eviction result — but list ``extend`` replaces the
+        per-point method calls.  The returned list is owned by the window;
+        callers must not mutate it.
+        """
+        if not points:
+            return self._NO_EVICTIONS
+        stamps = self._stamps
+        prev = stamps[-1] if stamps else None
+        for point in points:
+            timestamp = point.timestamp
+            if prev is not None and timestamp < prev:
+                raise ValueError(
+                    f"out-of-order point: {timestamp} after {prev}"
+                )
+            prev = timestamp
+        self._points.extend(points)
+        stamps.extend(point.timestamp for point in points)
+        self.total_appended += len(points)
+        if len(self._points) - self._head <= self.capacity:
+            return self._NO_EVICTIONS
+        evicted = []
+        while len(self._points) - self._head > self.capacity:
+            evicted.append(self._points[self._head])
+            self._head += 1
+        self._compact()
         return evicted
 
     def latest(self) -> DataPoint | None:
@@ -118,6 +161,20 @@ class AccumulatedChange:
             self.first_value = value
         self.last_value = value
         self.count += 1
+
+    def observe_pairs(self, points: list[tuple[float, float]]) -> None:
+        """Feed a batch of ``(timestamp, value)`` pairs in one frame."""
+        last = self.last_value
+        total = self.total
+        for _, value in points:
+            if last is not None:
+                total += abs(value - last)
+            else:
+                self.first_value = value
+            last = value
+        self.last_value = last
+        self.total = total
+        self.count += len(points)
 
     @property
     def net(self) -> float:

@@ -1,0 +1,319 @@
+"""Regression tests for the kernel raw-speed overhaul.
+
+Covers the timeout-timer leak (both directions of detachment), clean task
+teardown on ``stop()``, pinned ``gather`` semantics, dispatch-order edge
+cases around cancellation and timer-wheel ties, and the state-scrub
+contract of the freelist pool.
+"""
+
+import gc
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulerStoppedError
+from repro.errors import TimeoutError as KernelTimeoutError
+from repro.kernel.futures import Future
+from repro.kernel.pool import FreeList
+from repro.kernel.scheduler import Scheduler
+
+
+# -- S1: the timeout-timer leak ------------------------------------------------
+
+
+def test_timeout_leak_pending_events_returns_to_baseline():
+    """Sustained deadline-wrapped asks must not accumulate dead timers.
+
+    Before the fix, every ``timeout()`` whose inner future resolved in time
+    left its deadline timer armed: ``pending_events`` grew by one per call
+    and the dead timers burned an event each when they eventually fired.
+    Now the timer is cancelled the moment the inner future resolves, so the
+    queue depth after each batch returns to the pre-batch baseline.
+    """
+    sched = Scheduler()
+    peaks = []
+
+    async def churn(batches: int, per_batch: int) -> None:
+        baseline = sched.pending_events
+        for _ in range(batches):
+            for _ in range(per_batch):
+                inner: Future[int] = Future()
+                wrapped = sched.timeout(inner, 1000.0)
+                inner.set_result(1)
+                assert await wrapped == 1
+            await sched.sleep(0.01)
+            peaks.append(sched.pending_events - baseline)
+
+    sched.run_until_complete(churn(batches=20, per_batch=50))
+    # The queue never retains the resolved batches' deadline timers: after
+    # every batch we are back to the baseline (the sleep itself resolved).
+    assert max(peaks) <= 1, f"pending events grew: {peaks}"
+
+
+def test_timeout_deadline_detaches_mirror_callback_from_inner():
+    """Once the deadline fires, the wrapper must drop off the inner future.
+
+    The other half of the leak: a long-lived inner future used to pin one
+    mirror callback per expired deadline forever.
+    """
+    sched = Scheduler()
+    inner: Future[int] = Future("long-lived")
+
+    async def expire_many(count: int) -> None:
+        for _ in range(count):
+            with pytest.raises(KernelTimeoutError):
+                await sched.timeout(inner, 0.001)
+
+    sched.run_until_complete(expire_many(25))
+    assert inner._cb0 is None
+    assert not inner._callbacks
+    inner.set_result(7)  # must not touch any expired wrapper
+
+
+def test_timeout_cancelled_timers_never_fire_as_events():
+    """Dead deadline timers must not inflate ``events_processed``."""
+    sched = Scheduler()
+
+    async def run() -> None:
+        for _ in range(100):
+            inner: Future[None] = Future()
+            wrapped = sched.timeout(inner, 50.0)
+            inner.set_result(None)
+            await wrapped
+
+    sched.run_until_complete(run())
+    before = sched.events_processed
+    sched.run_for(100.0)  # past every armed deadline
+    assert sched.events_processed == before
+
+
+# -- S2: stop() routes queued first steps through Task cleanup -----------------
+
+
+def test_stop_closes_queued_first_steps_without_runtime_warning():
+    """Tasks spawned but never stepped are closed by ``stop()``, not GC."""
+    sched = Scheduler()
+
+    async def never_runs() -> None:  # pragma: no cover - must not start
+        raise AssertionError("stopped scheduler ran a queued task")
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        tasks = [sched.spawn(never_runs(), name=f"queued-{i}") for i in range(8)]
+        sched.stop()
+        for task in tasks:
+            assert task.done()
+            assert task.future.cancelled()
+        del tasks
+        gc.collect()
+
+    late = never_runs()
+    with pytest.raises(SchedulerStoppedError):
+        sched.spawn(late)
+    late.close()
+
+
+def test_stop_closes_timer_queued_tasks():
+    """First steps parked behind timers (heap and wheel) are cleaned too."""
+    sched = Scheduler()
+    fired = []
+
+    async def tick() -> None:  # pragma: no cover - must not start
+        fired.append(1)
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        # Far timer (wheel) and near timer (heap), each carrying a task step.
+        from repro.kernel.scheduler import Task
+
+        near = Task(tick(), sched, name="near")
+        far = Task(tick(), sched, name="far")
+        sched.call_later(0.001, Task._step, near)
+        sched.call_later(10.0, Task._step, far)
+        sched.stop()
+        assert near.done() and far.done()
+        del near, far
+        gc.collect()
+    assert not fired
+
+
+# -- S3: gather semantics pinned ----------------------------------------------
+
+
+def test_gather_empty_iterable_resolves_immediately():
+    sched = Scheduler()
+
+    async def main() -> list:
+        return await sched.gather([])
+
+    assert sched.run_until_complete(main()) == []
+
+
+def test_gather_result_order_is_input_order_not_completion_order():
+    sched = Scheduler()
+
+    async def slow(value: str, delay: float) -> str:
+        await sched.sleep(delay)
+        return value
+
+    async def main() -> list:
+        fut: Future[str] = Future()
+        sched.call_later(0.05, lambda: fut.set_result("future"))
+        return await sched.gather(
+            [
+                sched.spawn(slow("slowest", 0.9)),  # Task, completes last
+                fut,  # plain Future
+                slow("coroutine", 0.1),  # bare coroutine, spawned by gather
+            ]
+        )
+
+    assert sched.run_until_complete(main()) == ["slowest", "future", "coroutine"]
+
+
+def test_gather_raises_lowest_index_error_not_first_to_fail():
+    sched = Scheduler()
+
+    async def fail_after(delay: float, message: str) -> None:
+        await sched.sleep(delay)
+        raise ValueError(message)
+
+    async def ok(delay: float) -> str:
+        await sched.sleep(delay)
+        return "ok"
+
+    async def main() -> None:
+        # Index 2 fails *first* in time; index 1 fails later.  The reported
+        # error must be index 1's (lowest failed index), and every input
+        # must have settled before gather raises.
+        await sched.gather(
+            [
+                sched.spawn(ok(0.5)),
+                sched.spawn(fail_after(0.4, "lowest-index")),
+                sched.spawn(fail_after(0.1, "first-to-fail")),
+            ]
+        )
+
+    with pytest.raises(ValueError, match="lowest-index"):
+        sched.run_until_complete(main())
+
+
+# -- S4: dispatch edge cases ---------------------------------------------------
+
+
+def test_cancel_while_resume_is_queued_delivers_cancellation():
+    """A task whose awaited future resolved (resume queued) then got
+    cancelled must observe the cancellation, not the stale resume value."""
+    sched = Scheduler()
+    observed = []
+
+    async def waiter(fut: Future[str]) -> None:
+        try:
+            observed.append(await fut)
+        except BaseException as exc:  # noqa: BLE001 - recording
+            observed.append(type(exc).__name__)
+            raise
+
+    async def main() -> None:
+        fut: Future[str] = Future()
+        task = sched.spawn(waiter(fut))
+        await sched.sleep(0)  # let the waiter park on fut
+        fut.set_result("stale")  # resume step is now queued...
+        task.cancel()  # ...and cancellation must win
+        await sched.sleep(0.01)
+        assert task.done()
+        assert task.future.cancelled()
+
+    sched.run_until_complete(main())
+    assert observed == ["CancelledError"]
+
+
+def test_timer_ties_fire_fifo_by_arming_order():
+    """Timers armed for the same instant fire in arming (seq) order, and
+    wheel-bucketed timers keep that order through the bucket flush."""
+    sched = Scheduler()
+    fired: list[str] = []
+
+    # Same deadline, alternating arming order, far enough out for the wheel.
+    for i in range(10):
+        sched.call_at(5.0, fired.append, f"wheel-{i}")
+    # Same instant, near horizon: straight to the heap.
+    for i in range(10):
+        sched.call_at(0.001, fired.append, f"heap-{i}")
+    sched.drain()
+    assert fired == [f"heap-{i}" for i in range(10)] + [
+        f"wheel-{i}" for i in range(10)
+    ]
+
+
+def test_wheel_tie_order_survives_mixed_arming():
+    """Interleaving near/far arming with identical deadlines stays FIFO."""
+    sched = Scheduler()
+    fired: list[int] = []
+    for i in range(20):
+        # All at t=1.0: first ten armed before a sleep event, last ten after.
+        sched.call_at(1.0, fired.append, i)
+    sched.drain()
+    assert fired == list(range(20))
+
+
+# -- S4: pooled-object reuse never leaks state (property test) ----------------
+
+
+class _Carrier:
+    __slots__ = ("a", "b", "c")
+
+    def __init__(self) -> None:
+        self.a = 0
+        self.b = ""
+        self.c = None
+
+
+def _reset_carrier(carrier: _Carrier) -> None:
+    carrier.a = 0
+    carrier.b = ""
+    carrier.c = None
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["acquire", "release"]),
+            st.integers(min_value=0, max_value=1_000_000),
+            st.text(max_size=8),
+        ),
+        max_size=60,
+    ),
+    capacity=st.integers(min_value=0, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_freelist_reuse_never_leaks_state(ops, capacity):
+    """Whatever the acquire/release interleaving, an acquired object is
+    always in its factory-fresh state and never aliased with another live
+    acquisition."""
+    pool: FreeList[_Carrier] = FreeList(_Carrier, _reset_carrier, capacity)
+    live: list[_Carrier] = []
+    for action, number, text in ops:
+        if action == "acquire" or not live:
+            carrier = pool.acquire()
+            assert (carrier.a, carrier.b, carrier.c) == (0, "", None)
+            assert all(carrier is not other for other in live)
+            carrier.a = number
+            carrier.b = text
+            carrier.c = [number]
+            live.append(carrier)
+        else:
+            pool.release(live.pop())
+    assert len(pool) <= capacity
+
+
+def test_freelist_absorbs_consecutive_double_release():
+    pool: FreeList[_Carrier] = FreeList(_Carrier, _reset_carrier, 4)
+    carrier = pool.acquire()
+    assert pool.release(carrier) is True
+    assert pool.release(carrier) is False  # absorbed, not double-shelved
+    assert len(pool) == 1
+    first = pool.acquire()
+    second = pool.acquire()
+    assert first is not second

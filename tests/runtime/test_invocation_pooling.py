@@ -1,0 +1,148 @@
+"""Invocation freelist semantics: recycling, scrubbing, and the fault latch.
+
+The runtime recycles message envelopes (:class:`Invocation`) through a
+bounded :class:`FreeList` on the two paths that are provably last to touch
+them.  These tests pin the safety contract: recycled envelopes carry no
+state from their previous use, results stay correct across heavy reuse,
+and pooling latches off *forever* the moment a network fault injector is
+attached (duplicated deliveries alias one envelope).
+"""
+
+import random
+
+from repro.kernel import Scheduler
+from repro.net.faults import NetworkFaultInjector
+from repro.runtime import Actor, AodbRuntime, RuntimeConfig
+from repro.runtime.runtime import _POOL_KEY
+
+
+class Echo(Actor):
+    async def echo(self, value, tag="t"):
+        return (value, tag, self.actor_id)
+
+    async def fire(self, value):
+        return None
+
+
+def _pooled_runtime(sched: Scheduler) -> AodbRuntime:
+    config = RuntimeConfig(
+        default_method_cost=0.0,
+        activation_cost=0.0,
+        pool_invocations=True,
+    )
+    rt = AodbRuntime(sched, config=config)
+    rt.add_silo("silo-1", cores=2)
+    rt.register_actor(Echo)
+    return rt
+
+
+def test_ask_envelopes_are_recycled(sched):
+    runtime = _pooled_runtime(sched)
+    pool = runtime._invocation_pool
+
+    async def main():
+        ref = runtime.ref("Echo", "e1")
+        for i in range(50):
+            assert await ref.echo(i) == (i, "t", "e1")
+
+    sched.run_until_complete(main())
+    # After warm-up every ask reuses a shelved envelope instead of
+    # allocating: far more hits than factory misses.
+    assert pool.hits > 40
+    assert pool.misses < 10
+
+
+def test_recycled_envelope_is_fully_scrubbed(sched):
+    runtime = _pooled_runtime(sched)
+    pool = runtime._invocation_pool
+
+    async def main():
+        ref = runtime.ref("Echo", "e1")
+        await ref.echo({"payload": [1, 2, 3]}, tag="secret")
+
+    sched.run_until_complete(main())
+    assert len(pool) > 0
+    shelved = pool._items[-1]
+    # Every field must match a factory-fresh envelope: no target, args,
+    # kwargs, reply future, chain, span or deadline survives recycling.
+    assert shelved.target is _POOL_KEY
+    assert shelved.method == ""
+    assert shelved.args == ()
+    assert shelved.kwargs == {}
+    assert shelved.caller_endpoint == ""
+    assert shelved.one_way is False
+    assert shelved.reply is None
+    assert shelved.chain == ()
+    assert shelved.deadline is None
+    assert shelved.span is None
+
+
+def test_reuse_does_not_cross_contaminate_results(sched):
+    runtime = _pooled_runtime(sched)
+
+    async def main():
+        a = runtime.ref("Echo", "a")
+        b = runtime.ref("Echo", "b")
+        # Interleave asks and one-ways with distinct payloads so any field
+        # bleeding through a recycled envelope would misroute or corrupt.
+        for i in range(30):
+            assert await a.echo(("a", i), tag=f"ta{i}") == (("a", i), f"ta{i}", "a")
+            b.tell("fire", ("b", i))
+            assert await b.echo(("b", i), tag=f"tb{i}") == (("b", i), f"tb{i}", "b")
+
+    sched.run_until_complete(main())
+
+
+def test_fault_injector_latches_pooling_off(sched):
+    runtime = _pooled_runtime(sched)
+    pool = runtime._invocation_pool
+
+    async def warm():
+        ref = runtime.ref("Echo", "e1")
+        for i in range(10):
+            await ref.echo(i)
+
+    sched.run_until_complete(warm())
+    assert pool.hits > 0
+
+    runtime.network.inject_faults(
+        NetworkFaultInjector(random.Random(3), loss_rate=0.0)
+    )
+    # Detaching does NOT clear the latch: a duplicate from the faulty era
+    # could still be in flight.
+    runtime.network.inject_faults(None)
+    assert runtime.network.ever_faulted is True
+
+    hits_before = pool.hits
+    shelved_before = len(pool)
+
+    async def after():
+        ref = runtime.ref("Echo", "e1")
+        for i in range(10):
+            await ref.echo(i)
+
+    sched.run_until_complete(after())
+    # No envelope was acquired from or returned to the pool once faulted.
+    assert pool.hits == hits_before
+    assert len(pool) == shelved_before
+
+
+def test_pooling_disabled_by_config(sched):
+    config = RuntimeConfig(
+        default_method_cost=0.0,
+        activation_cost=0.0,
+        pool_invocations=False,
+    )
+    runtime = AodbRuntime(sched, config=config)
+    runtime.add_silo("silo-1", cores=2)
+    runtime.register_actor(Echo)
+
+    async def main():
+        ref = runtime.ref("Echo", "e1")
+        for i in range(10):
+            assert await ref.echo(i) == (i, "t", "e1")
+
+    sched.run_until_complete(main())
+    assert runtime._invocation_pool.hits == 0
+    assert runtime._invocation_pool.misses == 0
+    assert len(runtime._invocation_pool) == 0
