@@ -10,6 +10,8 @@ Usage::
     python -m repro.bench profile         # profiled run: CPU attribution,
                                           # health rules, telemetry actors
     python -m repro.bench profile --smoke # + profiling-invariant checks
+    python -m repro.bench incident        # recorded netsplit: postmortem dump
+    python -m repro.bench incident --smoke# + flight-recorder invariant checks
 
 Perf baselines (fig6 / fig7 / micro)::
 
@@ -109,7 +111,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(RUNNERS)
-        + ["all", "trace", "profile", "micro", "elastic", "partition", "speed"],
+        + [
+            "all",
+            "trace",
+            "profile",
+            "incident",
+            "micro",
+            "elastic",
+            "partition",
+            "speed",
+        ],
         help="which figure/ablation to run (or a traced/profiled demo run)",
     )
     parser.add_argument(
@@ -150,6 +161,11 @@ def main(argv: list[str] | None = None) -> int:
         from .profilebench import run_profile_bench
 
         print(run_profile_bench(smoke=args.smoke))
+        return 0
+    if args.experiment == "incident":
+        from .incidentbench import run_incident_bench
+
+        print(run_incident_bench(smoke=args.smoke))
         return 0
     baseline_flags = args.json or args.check_baseline or args.write_baseline
     if args.experiment in ("micro", "elastic", "partition", "speed"):

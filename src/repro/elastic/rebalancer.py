@@ -192,6 +192,11 @@ class Rebalancer:
                         target=coolest,
                     )
                 )
+                recorder = self.runtime.recorder
+                if recorder is not None:
+                    recorder.journal("elastic").record(
+                        "rebalance", key.qualified(), f"{hottest}->{coolest}"
+                    )
             else:
                 self.migration_failures += 1
         return moved

@@ -31,7 +31,10 @@ T = TypeVar("T")
 class FreeList(Generic[T]):
     """Bounded LIFO recycler: ``acquire`` pops, ``release`` resets and pushes."""
 
-    __slots__ = ("_items", "_factory", "_reset", "_capacity", "hits", "misses")
+    __slots__ = (
+        "_items", "_factory", "_reset", "_capacity", "hits", "misses",
+        "journal",
+    )
 
     def __init__(
         self,
@@ -48,6 +51,10 @@ class FreeList(Generic[T]):
         #: Recycled / freshly-allocated acquisition counters (observability).
         self.hits = 0
         self.misses = 0
+        #: Optional flight-recorder ring (duck-typed; never imported here).
+        #: Pool misses are recorded — a miss burst is the signature of a
+        #: traffic spike outrunning the recycler.
+        self.journal = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -62,6 +69,9 @@ class FreeList(Generic[T]):
             self.hits += 1
             return self._items.pop()
         self.misses += 1
+        journal = self.journal
+        if journal is not None:
+            journal.record("pool-miss", self.misses)
         return self._factory()
 
     def release(self, item: T) -> bool:

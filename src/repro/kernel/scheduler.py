@@ -160,11 +160,17 @@ class TimerHandle:
         if scheduler is None:
             return False
         if where == _IN_WHEEL:
-            scheduler._wheel.live -= 1
+            wheel = scheduler._wheel
+            wheel.live -= 1
+            wheel.cancelled += 1
         else:
             scheduler._tombstones = tombstones = scheduler._tombstones + 1
             if tombstones > 64 and tombstones * 2 > len(scheduler._events):
                 scheduler._compact()
+        scheduler.timer_cancels += 1
+        journal = scheduler.journal
+        if journal is not None:
+            journal.record("timer-cancel", self.seq, self.when)
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -393,6 +399,12 @@ class Scheduler:
         self._wheel = TimerWheel()
         self._stopped = False
         self.events_processed = 0
+        #: Cumulative timer cancellations (an observability probe reads this).
+        self.timer_cancels = 0
+        #: Optional flight-recorder ring (duck-typed — see repro.obs.recorder;
+        #: the kernel never imports obs).  When set, timer arm/fire/cancel
+        #: events are recorded; when None the hooks cost one attribute check.
+        self.journal = None
 
     # -- time ---------------------------------------------------------------
 
@@ -415,6 +427,11 @@ class Scheduler:
             - self._tombstones
             + self._wheel.live
         )
+
+    @property
+    def near_heap_depth(self) -> int:
+        """Armed near-term heap timers (tombstones excluded) — a probe."""
+        return len(self._events) - self._tombstones
 
     # -- event scheduling -----------------------------------------------------
 
@@ -451,6 +468,9 @@ class Scheduler:
         else:
             handle._where = _IN_WHEEL
             self._wheel.add(handle, now)
+        journal = self.journal
+        if journal is not None:
+            journal.record("timer-arm", seq, when)
         return handle
 
     def call_later(
@@ -611,6 +631,9 @@ class Scheduler:
             else:
                 handle._where = _IN_WHEEL
                 self._wheel.add(handle, now)
+            journal = self.journal
+            if journal is not None:
+                journal.record("timer-arm", seq, when)
             state.handle = handle
         return wrapped
 
@@ -712,6 +735,9 @@ class Scheduler:
                         handle._arg = None
                         handle._where = _FIRED
                         handle._scheduler = None
+                        journal = self.journal
+                        if journal is not None:
+                            journal.record("timer-fire", entry[1], when)
                     if when > self._now:
                         self._now = when
                     processed += 1
@@ -768,6 +794,9 @@ class Scheduler:
                         handle._arg = None
                         handle._where = _FIRED
                         handle._scheduler = None
+                        journal = self.journal
+                        if journal is not None:
+                            journal.record("timer-fire", entry[1], when)
                     if when > self._now:
                         self._now = when
                     processed += 1

@@ -48,7 +48,7 @@ _SPAN1 = RESOLUTIONS[1] * 256
 class TimerWheel:
     """Bucketed pending timers; see module docstring for the contract."""
 
-    __slots__ = ("_buckets", "_order", "live", "next_start")
+    __slots__ = ("_buckets", "_order", "live", "next_start", "cancelled")
 
     def __init__(self) -> None:
         # One dict per level: absolute slot index -> list of handles.
@@ -57,6 +57,9 @@ class TimerWheel:
         self._order: list[tuple[float, int, int]] = []
         #: Count of scheduled-and-not-cancelled handles still in buckets.
         self.live = 0
+        #: Cumulative handles cancelled while wheel-resident — the timers the
+        #: wheel saved from ever touching the heap (observability probe).
+        self.cancelled = 0
         #: Start time of the earliest bucket (inf when empty) — the scheduler
         #: compares this against its next candidate event every iteration, so
         #: it is kept as a plain attribute rather than computed.

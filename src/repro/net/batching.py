@@ -85,6 +85,11 @@ class EnvelopeBatcher:
         self._solo_streak: dict[tuple[str, str], int] = {}
         self.flushes = 0
         self.immediate_flushes = 0
+        #: Optional flight-recorder ring (duck-typed; obs never imported here).
+        self.journal = None
+        #: Optional cohort-size histogram (a MetricsRegistry Histogram the
+        #: runtime attaches) — the coalescing-effectiveness distribution.
+        self.cohort_histogram = None
 
     def transfer(self, source: str, target: str) -> Future[tuple[float, int]]:
         """Join the open envelope on (source, target); await departure.
@@ -163,6 +168,12 @@ class EnvelopeBatcher:
     async def _deliver(self, pair: tuple[str, str], envelope: _OpenEnvelope) -> None:
         self.flushes += 1
         cohort = len(envelope.members)
+        histogram = self.cohort_histogram
+        if histogram is not None:
+            histogram.observe(cohort)
+        journal = self.journal
+        if journal is not None:
+            journal.record("envelope", pair[1], cohort)
         previous = self._last_delivered.get(pair)
         delivered: Future[None] = Future("delivered")
         self._last_delivered[pair] = delivered

@@ -83,6 +83,9 @@ class Network:
         #: whose second delivery is still in flight.
         self.ever_faulted = False
         self.stats = NetworkStats()
+        #: Optional flight-recorder ring (duck-typed — see repro.obs.recorder;
+        #: the net layer never imports obs).  Partition blocks are recorded.
+        self.journal = None
 
     def inject_faults(self, injector: NetworkFaultInjector | None) -> None:
         """Attach (or, with None, detach) a chaos fault injector."""
@@ -191,6 +194,9 @@ class Network:
             partitions.record_blocked(count)
             stats.partitioned_messages += count
             stats.lost_messages += count
+            journal = self.journal
+            if journal is not None:
+                journal.record("partition-block", source, target)
             return None
         faults = self.faults
         if faults is not None and faults.drops(source, target, self._scheduler.now):

@@ -13,6 +13,9 @@ Substrates every other subsystem plugs into:
   queue wait and storage time, with hot-actor and mailbox-backlog reports;
 - :mod:`repro.obs.health` — :class:`HealthMonitor`: declarative SLO rules
   evaluated from metrics snapshots on a timer, with hysteresis alerts;
+- :mod:`repro.obs.recorder` — :class:`FlightRecorder`: always-on bounded
+  observability — tail-based trace retention, per-silo ring-buffer event
+  journals, and alert-triggered cross-silo :class:`Postmortem` dumps;
 - :mod:`repro.obs.telemetry` — self-hosted telemetry actors (imported
   lazily: it builds on :mod:`repro.runtime`, which itself imports this
   package — ``from repro.obs import telemetry`` or attribute access
@@ -37,6 +40,14 @@ from .profile import (
     build_report,
     mailbox_backlogs,
 )
+from .recorder import (
+    FlightRecorder,
+    Postmortem,
+    RecorderConfig,
+    RetainedTrace,
+    RingJournal,
+    render_postmortem,
+)
 from .render import (
     format_span_line,
     render_alerts,
@@ -51,13 +62,18 @@ from .trace import Span, TraceTree, Tracer, span_summary
 __all__ = [
     "Alert",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "HealthMonitor",
     "Histogram",
     "MetricsRegistry",
+    "Postmortem",
     "ProfileRecord",
     "ProfileReport",
     "Profiler",
+    "RecorderConfig",
+    "RetainedTrace",
+    "RingJournal",
     "SloRule",
     "Span",
     "TraceTree",
@@ -71,6 +87,7 @@ __all__ = [
     "render_critical_path",
     "render_health",
     "render_metrics",
+    "render_postmortem",
     "render_profile",
     "render_tree",
     "span_summary",

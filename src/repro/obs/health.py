@@ -355,4 +355,19 @@ def default_slo_rules(
                 "hot actors are concentrating on few silos"
             ),
         ),
+        SloRule(
+            name="trace-drops",
+            # Registered only when a FlightRecorder attaches, so the rule
+            # never evaluates (metric absent) unless the recorder is on —
+            # with retention active, any span drop means the tracer was
+            # left on the bounded store path and is losing evidence.
+            metric="trace.dropped_spans",
+            mode="rate",
+            op=">",
+            threshold=0.0,
+            description=(
+                "spans are being dropped while the flight recorder is "
+                "enabled — tail-based retention should make drops impossible"
+            ),
+        ),
     ]

@@ -40,6 +40,7 @@ from typing import Any, Iterable
 
 SPAN_KINDS = (
     "ask", "tell", "timer", "reminder", "ingest", "retrying-ask", "client",
+    "migrate", "wal-journal", "wal-replay", "fenced-write", "quarantine-park",
 )
 
 
@@ -136,6 +137,11 @@ class Tracer:
         self.enabled = enabled
         self.max_spans = max_spans
         self.dropped = 0
+        # With a FlightRecorder attached (repro.obs.recorder), spans route
+        # to it instead of accumulating here: completed root traces are
+        # scored and either retained or downsampled, so the max_spans
+        # cliff never applies.
+        self.recorder = None
         self._spans: list[Span] = []
         self._next_id = 0
 
@@ -160,7 +166,8 @@ class Tracer:
         if not self.enabled:
             return None
         spans = self._spans
-        if len(spans) >= self.max_spans:
+        recorder = self.recorder
+        if recorder is None and len(spans) >= self.max_spans:
             self.dropped += 1
             return None
         span_id = self._next_id + 1
@@ -189,7 +196,10 @@ class Tracer:
         span.status = "open"
         span.attempt = 0
         span.error = ""
-        spans.append(span)
+        if recorder is None:
+            spans.append(span)
+        else:
+            recorder.on_begin(span)
         return span
 
     def finish(
@@ -202,6 +212,10 @@ class Tracer:
         span.status = status
         if error:
             span.error = error
+        if span.parent_id is None:
+            recorder = self.recorder
+            if recorder is not None:
+                recorder.on_root_finish(span, now)
 
     # -- consuming -------------------------------------------------------------
 

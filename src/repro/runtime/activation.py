@@ -16,6 +16,7 @@ from ..errors import (
     ActorDeactivatedError,
     ActorMethodError,
     CancelledError,
+    FencedWriteError,
     ReentrancyError,
 )
 from ..kernel.scheduler import Task
@@ -161,6 +162,19 @@ class Activation:
             )
             load_started = self.runtime.scheduler.now
             await cell.load()
+            if cell.replayed and self.runtime.tracer.enabled:
+                # Crash recovery ran: the redo-journal suffix was applied
+                # over the stored document.  The span covers the whole load.
+                tracer = self.runtime.tracer
+                replay = tracer.begin(
+                    self.key,
+                    "wal-replay",
+                    self.silo.silo_id,
+                    self.runtime.scheduler.now,
+                    start=load_started,
+                    method="redo-replay",
+                )
+                tracer.finish(replay, self.runtime.scheduler.now)
             if profile is not None:
                 elapsed = self.runtime.scheduler.now - load_started
                 for record in profile:
@@ -399,7 +413,31 @@ class Activation:
     async def _flush_if_dirty(self) -> None:
         cell = self.instance._state_cell
         if cell is not None and cell.dirty:
-            await cell.flush()
+            tracer = self.runtime.tracer
+            if not tracer.enabled:
+                await cell.flush()
+                return
+            flush_started = self.runtime.scheduler.now
+            try:
+                await cell.flush()
+            except FencedWriteError as exc:
+                # A successor fenced this activation out: the write bounced
+                # off the storage fence floor (split-brain averted).
+                span = tracer.begin(
+                    self.key,
+                    "fenced-write",
+                    self.silo.silo_id,
+                    self.runtime.scheduler.now,
+                    start=flush_started,
+                    method="flush",
+                )
+                tracer.finish(
+                    span,
+                    self.runtime.scheduler.now,
+                    status="bounced",
+                    error=str(exc),
+                )
+                raise
 
     def _fail_pending(self, exc: BaseException) -> None:
         for message in self.mailbox.drain_nowait():
@@ -440,6 +478,21 @@ class Activation:
         later :meth:`close` (silo shutdown) or :meth:`abort` still works.
         """
         self.parked = fault
+        tracer = self.runtime.tracer
+        if tracer.enabled:
+            span = tracer.begin(
+                self.key,
+                "quarantine-park",
+                self.silo.silo_id,
+                self.runtime.scheduler.now,
+                method="park",
+            )
+            tracer.finish(
+                span,
+                self.runtime.scheduler.now,
+                status="parked",
+                error=str(fault),
+            )
         for timer_name in list(self._timers):
             self.cancel_timer(timer_name)
         self._fail_pending(fault)

@@ -24,6 +24,7 @@ import math
 from ..errors import (
     ConditionalCheckFailedError,
     DeadlineExceededError,
+    FencedWriteError,
     MailboxOverflowError,
     QuarantinedSiloError,
     ReentrancyError,
@@ -155,6 +156,9 @@ class AodbRuntime:
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.profiler = profiler if profiler is not None else Profiler(enabled=False)
+        # Attached flight recorder (duck-typed — set by FlightRecorder.attach
+        # in repro.obs.recorder; the runtime never imports that module).
+        self.recorder: Any = None
         self.network = network or Network(self.scheduler, rng=self.rng)
         self.system_store = system_store or SystemStore(self.scheduler)
         # Explicit None check: stores define __len__, so an empty store is
@@ -253,6 +257,28 @@ class AodbRuntime:
             "kernel.events_processed", lambda: scheduler.events_processed
         )
         registry.register_probe("kernel.virtual_time", lambda: scheduler.now)
+        # Timer-subsystem shape: wheel occupancy vs. the near-term heap tells
+        # whether the NEAR_HORIZON split is doing its job, and cancel counts
+        # expose the timer-leak class of bug the heap once had.
+        registry.register_probe(
+            "kernel.timer_wheel_occupancy", lambda: scheduler._wheel.live
+        )
+        registry.register_probe(
+            "kernel.timer_wheel_cancelled", lambda: scheduler._wheel.cancelled
+        )
+        registry.register_probe(
+            "kernel.timer_near_heap_depth", lambda: scheduler.near_heap_depth
+        )
+        registry.register_probe(
+            "kernel.timer_cancels", lambda: scheduler.timer_cancels
+        )
+        pool = self._invocation_pool
+        registry.register_probe("pool.invocation_hits", lambda: pool.hits)
+        registry.register_probe("pool.invocation_misses", lambda: pool.misses)
+        registry.register_probe(
+            "pool.invocation_hit_rate", lambda: pool.stats()["hit_rate"]
+        )
+        registry.register_probe("pool.invocation_size", lambda: len(pool))
         for name in (
             "asks", "tells", "replies", "errors", "dropped_messages",
             "activations_created", "activations_collected",
@@ -280,6 +306,10 @@ class AodbRuntime:
             registry.register_probe("batch.flushes", lambda: batcher.flushes)
             registry.register_probe(
                 "batch.immediate_flushes", lambda: batcher.immediate_flushes
+            )
+            # Coalescing effectiveness: how many messages shared each envelope.
+            batcher.cohort_histogram = registry.histogram(
+                "batch.cohort_size", boundaries=(1, 2, 4, 8, 16, 32, 64)
             )
         caches = self._directory_caches
         registry.register_probe(
@@ -409,6 +439,8 @@ class AodbRuntime:
         self.metrics.register_probe(
             "silo.cpu_utilization", silo.cpu.utilization, silo=silo_id
         )
+        if self.recorder is not None:
+            self.recorder.silo_journal(silo_id)
         return silo
 
     async def _heartbeat_loop(self, silo_id: str) -> None:
@@ -525,6 +557,18 @@ class AodbRuntime:
             self.metrics.unregister_probes(silo=silo_id)
         else:
             silo.crashed = True
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.silo_journal(silo_id).record("silo-crash", silo_id, lost)
+            recorder.record_incident(
+                "silo-crash",
+                {
+                    "silo": silo_id,
+                    "lost_activations": lost,
+                    "detected": detected,
+                    "at": self.scheduler.now,
+                },
+            )
         return lost
 
     # -- partition tolerance -------------------------------------------------------
@@ -584,6 +628,9 @@ class AodbRuntime:
                 continue
             activation.park(fault)
             parked += 1
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.silo_journal(silo_id).record("quarantine", silo_id, parked)
         for activation in silo.activations():
             cell = activation.instance._state_cell
             if cell is None:
@@ -592,10 +639,25 @@ class AodbRuntime:
                 activation.instance.snapshot_state()
                 if cell.dirty:
                     await cell.flush(direct=True)
-            except ReproError:
+            except ReproError as exc:
                 # Fenced/conflicted/throttled: the successor (or the redo
                 # journal) owns this state now; losing the scram write is
-                # the safe outcome.
+                # the safe outcome.  A fence bounce is the interesting case
+                # (split-brain averted) and gets its own span.
+                if isinstance(exc, FencedWriteError) and self.tracer.enabled:
+                    bounce = self.tracer.begin(
+                        activation.key,
+                        "fenced-write",
+                        silo_id,
+                        self.scheduler.now,
+                        method="scram-flush",
+                    )
+                    self.tracer.finish(
+                        bounce,
+                        self.scheduler.now,
+                        status="bounced",
+                        error=str(exc),
+                    )
                 continue
         return parked
 
@@ -626,6 +688,11 @@ class AodbRuntime:
         self.system_store.announce(silo_id, instance_type=silo.instance_type)
         self._suspected.discard(silo_id)
         self.stats.silos_rejoined += 1
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.silo_journal(silo_id).record(
+                "rejoin", silo_id, self.system_store.epoch
+            )
         return True
 
     # -- write-ahead redo journal --------------------------------------------------
@@ -647,6 +714,8 @@ class AodbRuntime:
                 writer=self.group_commit,
             )
             self.redo_journal.register_metrics(self.metrics)
+            if self.recorder is not None:
+                self.redo_journal.journal = self.recorder.journal("storage")
         for silo_id in self._silos:
             if silo_id not in self._redo_pumps:
                 self._redo_pumps[silo_id] = self.scheduler.spawn(
@@ -689,6 +758,15 @@ class AodbRuntime:
                     continue
                 if not cell.dirty:
                     continue
+                span = None
+                if self.tracer.enabled:
+                    span = self.tracer.begin(
+                        activation.key,
+                        "wal-journal",
+                        silo_id,
+                        self.scheduler.now,
+                        method="redo-append",
+                    )
                 try:
                     await self.redo_journal.append(
                         activation.key.storage_key(),
@@ -697,7 +775,14 @@ class AodbRuntime:
                         fence=cell.fence,
                     )
                 except Exception:  # noqa: BLE001 - journal write best-effort
+                    self.tracer.finish(
+                        span,
+                        self.scheduler.now,
+                        status="error",
+                        error="redo journal append failed",
+                    )
                     continue
+                self.tracer.finish(span, self.scheduler.now)
 
     def _silo_load(self, silo_id: str) -> tuple[float, float]:
         """A comparable load sample for placement probes (lower = idler).
@@ -803,6 +888,15 @@ class AodbRuntime:
             source.remove_activation(key)
         self.stats.migrations += 1
         self.tracer.finish(span, self.scheduler.now)
+        recorder = self.recorder
+        if recorder is not None:
+            qualified = key.qualified()
+            recorder.silo_journal(source_id).record(
+                "migrate-out", qualified, target_silo_id
+            )
+            recorder.silo_journal(target_silo_id).record(
+                "migrate-in", qualified, source_id
+            )
         return True
 
     async def drain_silo(self, silo_id: str) -> int:
@@ -1608,6 +1702,20 @@ class AodbRuntime:
                 self.directory.unregister(key)
         self._suspected.discard(silo_id)
         self.stats.silos_evicted += 1
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.silo_journal(silo_id).record(
+                "silo-evicted", silo_id, len(registered)
+            )
+            recorder.record_incident(
+                "silo-evicted",
+                {
+                    "silo": silo_id,
+                    "zombie": zombie,
+                    "registered_grains": len(registered),
+                    "at": self.scheduler.now,
+                },
+            )
         if not (self.config.proactive_reactivation and self._silos):
             return
         for key in registered:

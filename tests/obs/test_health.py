@@ -252,6 +252,7 @@ def test_default_rules_are_valid_and_cover_the_objectives():
         "mailbox-backlog",
         "error-rate",
         "cluster-imbalance",
+        "trace-drops",
     }
     # Constructible on an empty registry, and safe to evaluate.
     _registry, monitor = make_monitor(rules)

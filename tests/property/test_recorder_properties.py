@@ -1,0 +1,120 @@
+"""Property: the flight recorder is bit-for-bit deterministic per seed.
+
+Identical seeds must reproduce identical retained-trace sets *and*
+identical postmortem timelines — the recorder's whole value is that an
+incident dump can be replayed and compared across runs, which dies the
+moment retention sampling or timeline assembly consults wall-clock time,
+hash order, or an unseeded RNG.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Scheduler
+from repro.net import ConstantLatency, Network
+from repro.obs.recorder import FlightRecorder, RecorderConfig
+from repro.obs.trace import Tracer
+from repro.runtime import Actor, AodbRuntime, RuntimeConfig
+
+
+class Device(Actor):
+    async def work(self, amount, hold, fail):
+        if hold:
+            await self.context.runtime.scheduler.sleep(hold)
+        if fail:
+            raise RuntimeError("injected device fault")
+        return amount
+
+
+def run_once(seed, operations, tail_keep_rate):
+    sched = Scheduler()
+    runtime = AodbRuntime(
+        sched,
+        config=RuntimeConfig(
+            default_method_cost=0.001, activation_cost=0.0, seed=seed
+        ),
+        network=Network(sched, lan=ConstantLatency(0.0005)),
+        tracer=Tracer(enabled=True),
+    )
+    for i in range(3):
+        runtime.add_silo(f"silo-{i}", cores=2)
+    runtime.register_actor(Device)
+    recorder = FlightRecorder(
+        sched,
+        RecorderConfig(tail_keep_rate=tail_keep_rate, min_latency_samples=8),
+        seed=seed,
+    ).attach(runtime)
+
+    async def main():
+        for target, hold, fail in operations:
+            try:
+                await runtime.ref("Device", f"d{target}").work(
+                    1, hold, fail
+                )
+            except Exception:
+                pass
+
+    sched.run_until_complete(main())
+    postmortem = recorder.record_incident(
+        "probe", {"rule": "determinism", "at": sched.now}
+    )
+    retained = [
+        (rt.trace_id, rt.reason, len(rt.spans), rt.root.status, rt.retained_at)
+        for rt in recorder.retained()
+    ]
+    counters = (
+        recorder.completed_traces,
+        recorder.downsampled_traces,
+        dict(recorder.downsampled_by_kind),
+        recorder.retained_evicted,
+    )
+    return retained, counters, postmortem.timeline, sched.now
+
+
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),       # target actor
+            st.floats(min_value=0.0, max_value=0.02),    # hold time
+            st.booleans(),                               # inject a fault
+        ),
+        min_size=5,
+        max_size=40,
+    ),
+    seed=st.integers(min_value=0, max_value=50),
+    tail_keep_rate=st.sampled_from([0.0, 0.1, 1.0]),
+)
+@settings(max_examples=15, deadline=None)
+def test_identical_seeds_reproduce_retention_and_postmortems(
+    operations, seed, tail_keep_rate
+):
+    first = run_once(seed, operations, tail_keep_rate)
+    second = run_once(seed, operations, tail_keep_rate)
+    assert first[0] == second[0]  # retained-trace sets
+    assert first[1] == second[1]  # retention counters
+    assert first[2] == second[2]  # postmortem timelines
+    assert first[3] == second[3]  # virtual clocks
+
+
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.floats(min_value=0.0, max_value=0.01),
+            st.booleans(),
+        ),
+        min_size=5,
+        max_size=25,
+    ),
+    seed=st.integers(min_value=0, max_value=20),
+)
+@settings(max_examples=15, deadline=None)
+def test_every_fault_is_retained_and_nothing_is_dropped(operations, seed):
+    retained, counters, _timeline, _now = run_once(seed, operations, 0.0)
+    completed, downsampled, _by_kind, evicted = counters
+    faults = sum(1 for _t, _h, fail in operations if fail)
+    anomalies = [entry for entry in retained if entry[1] != "tail-sample"]
+    # Every injected fault's trace was kept for cause (never sampled away),
+    # and retention + downsampling partition the completed traces exactly.
+    assert len(anomalies) >= min(faults, 1)
+    assert completed == downsampled + len(retained) + evicted
