@@ -11,6 +11,13 @@ from .database import AodbDatabase
 from .index import MISSING, IndexRegistry
 from .query import Query, QueryResult
 from .transactions import LockManager, Transaction
+from .views import (
+    MaterializedView,
+    MaterializedViewHandle,
+    PullViewHandle,
+    ViewDef,
+    ViewRegistry,
+)
 from .workflow import Workflow, WorkflowOutcome, WorkflowStep
 
 __all__ = [
@@ -19,12 +26,17 @@ __all__ = [
     "ConstraintViolation",
     "IndexRegistry",
     "MISSING",
+    "MaterializedView",
+    "MaterializedViewHandle",
+    "PullViewHandle",
     "RelationshipConstraint",
     "UniquenessConstraint",
     "LockManager",
     "Query",
     "QueryResult",
     "Transaction",
+    "ViewDef",
+    "ViewRegistry",
     "Workflow",
     "WorkflowOutcome",
     "WorkflowStep",

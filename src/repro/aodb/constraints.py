@@ -120,7 +120,9 @@ class RelationshipConstraint:
     ) -> bool:
         try:
             async with self.db.transaction() as txn:
-                await txn.call(self.owner_type, from_owner, self.remove_method, member_id)
+                await txn.call(
+                    self.owner_type, from_owner, self.remove_method, member_id
+                )
                 await txn.call(self.owner_type, to_owner, self.add_method, member_id)
                 await txn.call(
                     self.member_type, member_id, self.set_owner_method, to_owner, *args

@@ -17,12 +17,19 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..errors import QueryError
 from ..runtime.actor import Actor
 from ..runtime.key import ActorKey
 from ..runtime.runtime import AodbRuntime
 from .index import IndexRegistry
 from .query import Query
 from .transactions import LockManager, Transaction
+from .views import (
+    MaterializedViewHandle,
+    PullViewHandle,
+    ViewDef,
+    ViewRegistry,
+)
 from .workflow import Workflow
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,6 +44,7 @@ class AodbDatabase:
     def __init__(self, runtime: AodbRuntime) -> None:
         self.runtime = runtime
         self.indexes = IndexRegistry()
+        self.views = ViewRegistry(self)
         self.locks = LockManager(self)
         self.stats_commits = 0
         self.stats_aborts = 0
@@ -75,6 +83,36 @@ class AodbDatabase:
         """Start a declarative query over actors of one type."""
         self.runtime.actor_type(type_name)  # fail fast on unknown types
         return Query(self, type_name)
+
+    def register_view(self, definition: ViewDef) -> ViewDef:
+        """Register a standing query, maintained incrementally from the
+        ingest write path (see :mod:`repro.aodb.views`)."""
+        return self.views.register(definition)
+
+    def view(
+        self,
+        name: str,
+        source: str | None = None,
+        group_by: str | None = None,
+    ) -> MaterializedViewHandle | PullViewHandle:
+        """A read handle over a standing query.
+
+        A registered ``name`` returns the materialized handle — one ask
+        per group asked.  An unregistered shape falls back to the
+        pull-based query layer when ``source`` names the actor type to
+        scan: every read fans out ``view_sample`` over the extent and
+        folds client-side with the same algebra, so the two paths agree
+        on results and differ only (enormously) in cost.
+        """
+        if self.views.registered(name):
+            return MaterializedViewHandle(self, self.views.definition(name))
+        if source is None:
+            raise QueryError(
+                f"no registered view named {name!r}; pass source= (and "
+                "optionally group_by=) to fall back to a pull-based scan"
+            )
+        self.runtime.actor_type(source)  # fail fast on unknown types
+        return PullViewHandle(self, source, group_by)
 
     def transaction(self, lock_timeout: float = DEFAULT_LOCK_TIMEOUT) -> Transaction:
         """Begin a multi-actor transaction (strict 2PL, timeout aborts)."""

@@ -47,7 +47,15 @@ class QueryResult:
 
 
 class Query:
-    """A fluent, immutable-ish query builder (each step returns self)."""
+    """A fluent, immutable query builder.
+
+    Each step returns a *new* ``Query`` with the step applied, so a
+    partially built query can be kept and extended along different
+    branches without the branches aliasing each other's criteria::
+
+        base = db.query("Sensor").where(project="bridge-a")
+        hot = base.filter_values(lambda v: v > 100)   # base is unchanged
+    """
 
     def __init__(self, database: "AodbDatabase", type_name: str) -> None:
         self._db = database
@@ -59,6 +67,16 @@ class Query:
         self._predicate: Callable[[Any], bool] | None = None
         self._limit: int | None = None
 
+    def _clone(self) -> "Query":
+        copy = Query(self._db, self._type_name)
+        copy._criteria = dict(self._criteria)
+        copy._method = self._method
+        copy._args = self._args
+        copy._kwargs = dict(self._kwargs)
+        copy._predicate = self._predicate
+        copy._limit = self._limit
+        return copy
+
     def where(self, **criteria: object) -> "Query":
         """Restrict to actors whose indexed attributes equal these values."""
         for attr in criteria:
@@ -67,27 +85,31 @@ class Query:
                     f"{self._type_name}.{attr} is not indexed; "
                     "declare an index or drop the criterion"
                 )
-        self._criteria.update(criteria)
-        return self
+        copy = self._clone()
+        copy._criteria.update(criteria)
+        return copy
 
     def call(self, method: str, *args: Any, **kwargs: Any) -> "Query":
         """Fan out ``method(*args, **kwargs)`` to every matching actor."""
-        self._method = method
-        self._args = args
-        self._kwargs = kwargs
-        return self
+        copy = self._clone()
+        copy._method = method
+        copy._args = args
+        copy._kwargs = kwargs
+        return copy
 
     def filter_values(self, predicate: Callable[[Any], bool]) -> "Query":
         """Keep only rows whose returned value satisfies ``predicate``."""
-        self._predicate = predicate
-        return self
+        copy = self._clone()
+        copy._predicate = predicate
+        return copy
 
     def limit(self, count: int) -> "Query":
         """Truncate the *candidate set* (by sorted actor id) before fan-out."""
         if count < 0:
             raise QueryError("limit must be >= 0")
-        self._limit = count
-        return self
+        copy = self._clone()
+        copy._limit = count
+        return copy
 
     def candidate_ids(self) -> list[str]:
         """Resolve the candidate actor ids without fanning out."""

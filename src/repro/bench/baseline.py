@@ -263,6 +263,20 @@ def build_speed(smoke: bool = False) -> dict:
     return _build(smoke)
 
 
+def build_views(smoke: bool = False) -> dict:
+    """Materialized-views bench: standing queries vs pull-based scans.
+
+    Delegates to :func:`repro.bench.views.build_views`; the builder asserts
+    the view invariants (O(groups-asked) read cost at least 10x below the
+    pull scan, exactly-once folding in steady and chaos-seeded runs,
+    staleness p99 under the registered bound with the ``view-staleness``
+    SLO rule silent) and raises on violation.
+    """
+    from .views import build_views as _build
+
+    return _build(smoke)
+
+
 BUILDERS: dict[str, Callable[[bool], dict]] = {
     "fig6": build_fig6,
     "fig7": build_fig7,
@@ -270,6 +284,7 @@ BUILDERS: dict[str, Callable[[bool], dict]] = {
     "elastic": build_elastic,
     "partition": build_partition,
     "speed": build_speed,
+    "views": build_views,
 }
 
 

@@ -120,6 +120,7 @@ def main(argv: list[str] | None = None) -> int:
             "elastic",
             "partition",
             "speed",
+            "views",
         ],
         help="which figure/ablation to run (or a traced/profiled demo run)",
     )
@@ -168,7 +169,7 @@ def main(argv: list[str] | None = None) -> int:
         print(run_incident_bench(smoke=args.smoke))
         return 0
     baseline_flags = args.json or args.check_baseline or args.write_baseline
-    if args.experiment in ("micro", "elastic", "partition", "speed"):
+    if args.experiment in ("micro", "elastic", "partition", "speed", "views"):
         if not (baseline_flags or args.smoke):
             print(
                 json.dumps(

@@ -326,7 +326,9 @@ def run_durability_ablation(
             database = AodbDatabase(runtime)
             from ..shm.platform import ShmPlatform
 
-            platform = ShmPlatform(database, window_capacity=256, enable_aggregation=False)
+            platform = ShmPlatform(
+                database, window_capacity=256, enable_aggregation=False
+            )
             deployment = Deployment(scheduler, runtime, database, platform, runtime.rng)
             scheduler.run_until_complete(provision(deployment, sensors))
             writes_before = store.writes
@@ -431,7 +433,8 @@ def run_granularity_ablation(
                     await dist.local_info(cut_id)
             await dist.deliver_cuts(cut_ids, "ret-1", float(index) + 0.2)
 
-    for label, driver in (("model_a_actors", drive_model_a), ("model_b_objects", drive_model_b)):
+    drivers = (("model_a_actors", drive_model_a), ("model_b_objects", drive_model_b))
+    for label, driver in drivers:
         scheduler, platform, runtime = _cattle_database(seed)
         start_events = scheduler.events_processed
         scheduler.run_until_complete(driver(platform))
@@ -487,7 +490,10 @@ def run_constraints_ablation(
     async def run_transactional(platform: CattlePlatform):
         tasks = [
             platform.sell_cow_transactional(
-                f"cow-{cow}", "farm-0", f"farm-{1 + cow % (contention_farmers - 1)}", 1.0
+                f"cow-{cow}",
+                "farm-0",
+                f"farm-{1 + cow % (contention_farmers - 1)}",
+                1.0,
             )
             for cow in range(transfers)
         ]
@@ -498,7 +504,10 @@ def run_constraints_ablation(
     async def run_workflow(platform: CattlePlatform):
         tasks = [
             platform.sell_cow_workflow(
-                f"cow-{cow}", "farm-0", f"farm-{1 + cow % (contention_farmers - 1)}", 1.0
+                f"cow-{cow}",
+                "farm-0",
+                f"farm-{1 + cow % (contention_farmers - 1)}",
+                1.0,
             )
             for cow in range(transfers)
         ]

@@ -7,12 +7,17 @@ from .experiments import AblationResult, FigResult
 
 
 def _table(headers: list[str], rows: list[list[str]]) -> str:
-    widths = [
-        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
-        for i in range(len(headers))
-    ]
+    def column_width(i: int) -> int:
+        if not rows:
+            return len(headers[i])
+        return max(len(headers[i]), *(len(row[i]) for row in rows))
+
+    widths = [column_width(i) for i in range(len(headers))]
+
     def line(cells):
-        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+        padded = (cell.ljust(width) for cell, width in zip(cells, widths))
+        return "  ".join(padded).rstrip()
+
     separator = "  ".join("-" * width for width in widths)
     return "\n".join([line(headers), separator] + [line(row) for row in rows])
 

@@ -50,7 +50,8 @@ class GeoFence:
             if latitude == lat1 and longitude == lon1:
                 return True
             if (lon1 > longitude) != (lon2 > longitude):
-                intersect_lat = lat1 + (longitude - lon1) * (lat2 - lat1) / (lon2 - lon1)
+                numerator = (longitude - lon1) * (lat2 - lat1)
+                intersect_lat = lat1 + numerator / (lon2 - lon1)
                 if latitude < intersect_lat:
                     inside = not inside
                 elif latitude == intersect_lat:

@@ -38,7 +38,8 @@ class NetworkFaultInjector:
         end: float = math.inf,
         protected: frozenset[str] | set[str] = frozenset(),
     ) -> None:
-        for name, rate in (("loss_rate", loss_rate), ("duplication_rate", duplication_rate)):
+        rates = (("loss_rate", loss_rate), ("duplication_rate", duplication_rate))
+        for name, rate in rates:
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")
         if extra_delay < 0:

@@ -43,7 +43,9 @@ class NetworkStats:
     batched_messages: int = 0
     largest_envelope: int = 0
 
-    def record(self, source: str, loopback: bool, latency: float, count: int = 1) -> None:
+    def record(
+        self, source: str, loopback: bool, latency: float, count: int = 1
+    ) -> None:
         self.messages += count
         if loopback:
             self.loopback_messages += count
@@ -257,7 +259,9 @@ class Network:
         registry.register_probe(
             "net.partitioned_messages", lambda: stats.partitioned_messages
         )
-        registry.register_probe("net.total_latency_seconds", lambda: stats.total_latency)
+        registry.register_probe(
+            "net.total_latency_seconds", lambda: stats.total_latency
+        )
         registry.register_probe("net.envelopes", lambda: stats.envelopes)
         registry.register_probe("net.batched_messages", lambda: stats.batched_messages)
         registry.register_probe("net.largest_envelope", lambda: stats.largest_envelope)

@@ -277,6 +277,7 @@ def default_slo_rules(
     max_backlog: float = 1000.0,
     max_error_rate: float = 1.0,
     max_cpu_imbalance: float = 3.0,
+    max_view_staleness: float = 1.0,
 ) -> list[SloRule]:
     """The stock rule set an SHM-platform operator would start from.
 
@@ -353,6 +354,24 @@ def default_slo_rules(
             description=(
                 "silo CPU utilization is imbalanced (max/min ratio) — "
                 "hot actors are concentrating on few silos"
+            ),
+        ),
+        SloRule(
+            name="view-staleness",
+            # Registered only when a ViewRegistry has standing queries, so
+            # the rule never evaluates (metric absent) on view-less
+            # deployments.  The probe reports the age of the oldest delta
+            # not yet folded into its view shard — the freshness bound a
+            # dashboard reader actually observes.
+            metric="views.staleness_seconds",
+            aggregate="max",
+            op=">",
+            threshold=max_view_staleness,
+            for_seconds=0.5,
+            clear_seconds=1.0,
+            description=(
+                "materialized views are falling behind the ingest stream "
+                "(unfolded deltas older than the staleness bound)"
             ),
         ),
         SloRule(

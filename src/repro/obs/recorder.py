@@ -596,6 +596,9 @@ class FlightRecorder:
         if runtime.redo_journal is not None:
             runtime.redo_journal.journal = storage
         self.journal("elastic")
+        views = getattr(runtime.database, "views", None)
+        if views is not None:
+            views.journal = self.journal("views")
         for silo in runtime.silos():
             self.silo_journal(silo.silo_id)
         registry = runtime.metrics

@@ -41,6 +41,7 @@ from typing import Any, Iterable
 SPAN_KINDS = (
     "ask", "tell", "timer", "reminder", "ingest", "retrying-ask", "client",
     "migrate", "wal-journal", "wal-replay", "fenced-write", "quarantine-park",
+    "view-fold",
 )
 
 

@@ -106,7 +106,9 @@ class ActorContext:
         Timers live and die with the activation (use reminders for timers
         that must survive deactivation).
         """
-        self.activation.register_timer(name, period, method, *args)  # type: ignore[attr-defined]
+        self.activation.register_timer(  # type: ignore[attr-defined]
+            name, period, method, *args
+        )
 
     def cancel_timer(self, name: str) -> bool:
         """Cancel an activation-scoped timer."""

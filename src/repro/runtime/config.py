@@ -94,6 +94,15 @@ class RuntimeConfig:
     pool_invocations: bool = True
     invocation_pool_capacity: int = 4096
 
+    # Materialized-view delta coalescing (repro.net.deltas): deltas bound
+    # for the same view shard emitted within `view_delta_max_delay` virtual
+    # seconds merge into one sequenced flush; an open buffer also departs
+    # once it spans `view_delta_max_keys` distinct (group, entity, bucket)
+    # keys.  0.0 delay still coalesces same-instant emissions (one
+    # scheduler round trip), mirroring batch_max_delay semantics.
+    view_delta_max_delay: float = 0.0005
+    view_delta_max_keys: int = 128
+
     # Group-commit write-behind: state flushes issued within the same
     # window collapse into one storage round trip (KeyValueStore.put_many)
     # while every caller still awaits real durability before its ack.
@@ -174,6 +183,10 @@ class RuntimeConfig:
             raise ValueError("batch_max_delay must be >= 0")
         if self.dispatch_overhead_cost < 0:
             raise ValueError("dispatch_overhead_cost must be >= 0")
+        if self.view_delta_max_delay < 0:
+            raise ValueError("view_delta_max_delay must be >= 0")
+        if self.view_delta_max_keys < 1:
+            raise ValueError("view_delta_max_keys must be >= 1")
         if self.group_commit_max_batch < 1:
             raise ValueError("group_commit_max_batch must be >= 1")
         if self.group_commit_max_delay < 0:

@@ -163,7 +163,9 @@ class PowerOfTwoPlacement:
         if second >= first:
             second += 1  # distinct second probe, uniform over the rest
         a, b = active_silos[first], active_silos[second]
-        return a if self._load_of(a) <= self._load_of(b) else b  # type: ignore[operator]
+        if self._load_of(a) <= self._load_of(b):  # type: ignore[operator]
+            return a
+        return b
 
 
 class PinnedPlacement:

@@ -122,7 +122,9 @@ class ActorRef:
                 else config.default_call_deadline
             )
         if retry is None:
-            retry = self._retry if self._retry is not None else config.default_retry_policy
+            retry = (
+                self._retry if self._retry is not None else config.default_retry_policy
+            )
         if deadline is None and retry is None:
             return self._runtime.send(
                 self.key,

@@ -252,7 +252,9 @@ class AodbRuntime:
         registry = self.metrics
         scheduler = self.scheduler
         stats = self.stats
-        registry.register_probe("kernel.pending_events", lambda: scheduler.pending_events)
+        registry.register_probe(
+            "kernel.pending_events", lambda: scheduler.pending_events
+        )
         registry.register_probe(
             "kernel.events_processed", lambda: scheduler.events_processed
         )

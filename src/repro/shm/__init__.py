@@ -11,7 +11,16 @@ from .equations import (
     WeightedEquation,
     equation_from_description,
 )
-from .model import Alert, AlertRule, DataPoint, Project, Role, SensorSpec, SensorType, User
+from .model import (
+    Alert,
+    AlertRule,
+    DataPoint,
+    Project,
+    Role,
+    SensorSpec,
+    SensorType,
+    User,
+)
 from .organization import Organization
 from .platform import (
     ACTOR_CLASSES,
@@ -24,7 +33,12 @@ from .platform import (
     virtual_channel_id_for,
 )
 from .sensor import Sensor
-from .timeseries import AccumulatedChange, AggregateStats, BucketedAggregates, DataWindow
+from .timeseries import (
+    AccumulatedChange,
+    AggregateStats,
+    BucketedAggregates,
+    DataWindow,
+)
 
 __all__ = [
     "ACTOR_CLASSES",

@@ -269,7 +269,9 @@ class VirtualSensorChannel(_ChannelBase):
         inputs = self.state.get("input_channel_ids", ())
         if channel_id not in inputs:
             return 0
-        equation = equation_from_description(self.state.get("equation", {"kind": "sum"}))
+        equation = equation_from_description(
+            self.state.get("equation", {"kind": "sum"})
+        )
         derived: list[tuple[float, float]] = []
         for timestamp, value in points:
             slot = self._pending.setdefault(timestamp, {})

@@ -20,7 +20,9 @@ from .model import AlertRule, Role, SensorType
 
 # Actions gated by role-based access control (non-functional requirement 7).
 _ROLE_PERMISSIONS: dict[str, frozenset[Role]] = {
-    "read_data": frozenset({Role.ENGINEER, Role.DATA_ANALYST, Role.MAINTENANCE, Role.ADMIN}),
+    "read_data": frozenset(
+        {Role.ENGINEER, Role.DATA_ANALYST, Role.MAINTENANCE, Role.ADMIN}
+    ),
     "manage_structure": frozenset({Role.MAINTENANCE, Role.ADMIN}),
     "manage_users": frozenset({Role.ADMIN}),
     "manage_alerts": frozenset({Role.ENGINEER, Role.MAINTENANCE, Role.ADMIN}),

@@ -205,7 +205,7 @@ class ShmPlatform:
                 report.org_ids.append(org_id)
             local_index = sensor_index % sensors_per_org
             sensor_id = sensor_id_for(org_id, local_index)
-            with_virtual = (local_index % virtual_every) == 0 if virtual_every else False
+            with_virtual = bool(virtual_every) and (local_index % virtual_every) == 0
             await self.add_sensor(
                 org_id,
                 f"{org_id}/project-0",

@@ -128,7 +128,9 @@ class StarSchema:
             )
         )
 
-    def load_archive(self, archive: ArchiveLog, streams: Iterable[str] | None = None) -> int:
+    def load_archive(
+        self, archive: ArchiveLog, streams: Iterable[str] | None = None
+    ) -> int:
         """Bulk-load archived channel streams; returns rows loaded.
 
         This is the export path of the paper's architecture: windows
@@ -165,7 +167,9 @@ class StarSchema:
             if where is not None and not where(dimension, fact):
                 continue
             key = tuple(
-                fact.time_key if attribute == "time_key" else getattr(dimension, attribute)
+                fact.time_key
+                if attribute == "time_key"
+                else getattr(dimension, attribute)
                 for attribute in group_by
             )
             row = groups.get(key)

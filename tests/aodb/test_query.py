@@ -42,7 +42,8 @@ def populated(sched, db):
 
 def test_query_with_index_criterion(sched, populated):
     async def main():
-        rows = await populated.query("Sensor").where(project="bridge-a").call("read").run()
+        query = populated.query("Sensor").where(project="bridge-a")
+        rows = await query.call("read").run()
         return [(r.actor_id, r.value) for r in rows]
 
     assert sched.run_until_complete(main()) == [("s1", 10), ("s2", 20)]
@@ -135,3 +136,50 @@ def test_query_empty_result(sched, populated):
         return await populated.query("Sensor").where(project="nope").call("read").run()
 
     assert sched.run_until_complete(main()) == []
+
+
+def test_builder_steps_return_copies_not_aliases(sched, populated):
+    """Regression: a kept partial query must not absorb its branches'
+    criteria (each builder step returns a new Query)."""
+    base = populated.query("Sensor").call("read")
+    bridge_a = base.where(project="bridge-a")
+    bridge_b = base.where(project="bridge-b")
+
+    async def main():
+        a = await bridge_a.run()
+        b = await bridge_b.run()
+        everything = await base.run()
+        return a, b, everything
+
+    a, b, everything = sched.run_until_complete(main())
+    # The branches saw disjoint criteria; the base stayed unrestricted.
+    assert [row.actor_id for row in a] == ["s1", "s2"]
+    assert [row.actor_id for row in b] == ["s3", "s4", "s5"]
+    assert len(everything) == 5
+
+
+def test_builder_branches_do_not_share_call_or_limit(sched, populated):
+    base = populated.query("Sensor").where(project="bridge-b")
+    raw = base.call("read")
+    scaled = base.call("scaled", 10).limit(1)
+
+    async def main():
+        return await raw.run(), await scaled.run()
+
+    raw_rows, scaled_rows = sched.run_until_complete(main())
+    assert [row.value for row in raw_rows] == [30, 40, 50]
+    assert [row.value for row in scaled_rows] == [300]
+    # limit() on the branch did not truncate the sibling's candidates.
+    assert len(raw_rows) == 3
+
+
+def test_filter_values_returns_a_new_query(sched, populated):
+    base = populated.query("Sensor").call("read")
+    hot = base.filter_values(lambda value: value >= 40)
+
+    async def main():
+        return await hot.run(), await base.run()
+
+    hot_rows, all_rows = sched.run_until_complete(main())
+    assert [row.value for row in hot_rows] == [40, 50]
+    assert len(all_rows) == 5

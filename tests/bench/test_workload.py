@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.bench import LoadConfig, M5_LARGE, M5_XLARGE, build_deployment, execute, provision
+from repro.bench import (
+    LoadConfig,
+    M5_LARGE,
+    M5_XLARGE,
+    build_deployment,
+    execute,
+    provision,
+)
 
 
 @pytest.fixture

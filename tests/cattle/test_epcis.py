@@ -49,7 +49,8 @@ def test_business_steps_cover_the_chain(sched, platform):
         return await export_product_document(platform.db, product_id)
 
     document = sched.run_until_complete(main())
-    steps = {event["bizStep"].rsplit(":", 1)[-1] for event in document["epcisBody"]["eventList"]}
+    events = document["epcisBody"]["eventList"]
+    steps = {event["bizStep"].rsplit(":", 1)[-1] for event in events}
     assert {
         "commissioning",
         "slaughtering",

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.cattle import GeoFence, haversine_meters, rectangle_fence, trajectory_length_meters
+from repro.cattle import (
+    GeoFence,
+    haversine_meters,
+    rectangle_fence,
+    trajectory_length_meters,
+)
 
 
 def test_haversine_zero_distance():

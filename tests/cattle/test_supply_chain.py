@@ -160,7 +160,9 @@ def test_trace_graph_assembly(sched, platform):
     graph, product_id, delivery_id = sched.run_until_complete(main())
     assert origin_farms(graph, product_id) == ["farm-1"]
     kinds = {graph.nodes[n]["kind"] for n in graph.nodes}
-    assert kinds == {"farmer", "cow", "slaughterhouse", "cut", "delivery", "retailer", "product"}
+    assert kinds == {
+        "farmer", "cow", "slaughterhouse", "cut", "delivery", "retailer", "product"
+    }
     summary = summarize_trace(graph, product_id)
     assert summary["entities"]["cut"] == 2
     assert summary["entities"]["cow"] == 1

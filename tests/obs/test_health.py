@@ -253,6 +253,7 @@ def test_default_rules_are_valid_and_cover_the_objectives():
         "error-rate",
         "cluster-imbalance",
         "trace-drops",
+        "view-staleness",
     }
     # Constructible on an empty registry, and safe to evaluate.
     _registry, monitor = make_monitor(rules)

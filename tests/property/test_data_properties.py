@@ -24,8 +24,9 @@ def test_aggregate_stats_match_batch_formulas(values):
     assert stats.count == len(values)
     assert stats.minimum == min(values)
     assert stats.maximum == max(values)
-    assert math.isclose(stats.mean, sum(values) / len(values), rel_tol=1e-9, abs_tol=1e-6)
-    batch_variance = sum((v - sum(values) / len(values)) ** 2 for v in values) / len(values)
+    mean = sum(values) / len(values)
+    assert math.isclose(stats.mean, mean, rel_tol=1e-9, abs_tol=1e-6)
+    batch_variance = sum((v - mean) ** 2 for v in values) / len(values)
     assert math.isclose(stats.variance, batch_variance, rel_tol=1e-6, abs_tol=1e-5)
 
 

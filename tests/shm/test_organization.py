@@ -126,7 +126,12 @@ def test_alert_storage_is_bounded(sched, platform, org):
         for i in range(MAX_STORED_ALERTS + 50):
             await org.ask(
                 "record_alert",
-                {"rule_id": "r", "channel_id": "c", "value": 1.0, "timestamp": float(i)},
+                {
+                    "rule_id": "r",
+                    "channel_id": "c",
+                    "value": 1.0,
+                    "timestamp": float(i),
+                },
             )
         alerts = await org.alerts(limit=MAX_STORED_ALERTS + 100)
         return alerts

@@ -4,7 +4,13 @@ import math
 
 import pytest
 
-from repro.shm import AccumulatedChange, AggregateStats, BucketedAggregates, DataPoint, DataWindow
+from repro.shm import (
+    AccumulatedChange,
+    AggregateStats,
+    BucketedAggregates,
+    DataPoint,
+    DataWindow,
+)
 
 
 # -- DataWindow ---------------------------------------------------------------
@@ -187,7 +193,8 @@ def test_aggregate_merge_with_empty():
 
 def test_aggregate_snapshot_empty():
     snapshot = AggregateStats().snapshot()
-    assert snapshot == {"count": 0, "min": None, "max": None, "mean": None, "stddev": None}
+    expected = {"count": 0, "min": None, "max": None, "mean": None, "stddev": None}
+    assert snapshot == expected
 
 
 # -- BucketedAggregates ------------------------------------------------------------

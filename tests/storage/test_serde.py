@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.storage import NotSerializableError, ensure_serializable, estimate_size, snapshot
+from repro.storage import (
+    NotSerializableError,
+    ensure_serializable,
+    estimate_size,
+    snapshot,
+)
 
 
 def test_snapshot_isolates_mutable_values():
