@@ -127,3 +127,22 @@ class AodbDatabase:
     def ref(self, type_name: str, actor_id: str):
         """Shorthand for ``runtime.ref`` (client endpoint)."""
         return self.runtime.ref(type_name, actor_id)
+
+    # -- time-series reads ------------------------------------------------------------
+
+    async def timeseries_range(
+        self, type_name: str, actor_id: str, start: float, end: float
+    ) -> list[tuple[float, float]]:
+        """Raw ``(timestamp, value)`` pairs over [start, end) from one
+        channel actor's tiered window, stitched across hot head and sealed
+        compressed blocks (blocks outside the range are skipped by their
+        summaries without decompression)."""
+        return await self.ref(type_name, actor_id).query_range(start, end)
+
+    async def timeseries_aggregate(
+        self, type_name: str, actor_id: str, start: float, end: float
+    ) -> dict:
+        """Count/min/max/sum/mean over [start, end) from one channel
+        actor's tiered window; sealed blocks fully inside the range are
+        answered from per-block summaries alone."""
+        return await self.ref(type_name, actor_id).aggregate_range(start, end)

@@ -277,6 +277,21 @@ def build_views(smoke: bool = False) -> dict:
     return _build(smoke)
 
 
+def build_tsbench(smoke: bool = False) -> dict:
+    """Tiered time-series storage bench: compression, memory, scan latency.
+
+    Delegates to :func:`repro.bench.tsbench.build_tsbench`; the builder
+    asserts the storage invariants (≥10× per-sensor memory reclaimed,
+    ≥4× sealed-tier compression, recent-range scans within 2× of the raw
+    window, exact tiered-vs-raw query equivalence, end-to-end point
+    conservation through the block-backed archive) and raises on
+    violation.  Committed as ``BENCH_tsblocks.json``.
+    """
+    from .tsbench import build_tsbench as _build
+
+    return _build(smoke)
+
+
 BUILDERS: dict[str, Callable[[bool], dict]] = {
     "fig6": build_fig6,
     "fig7": build_fig7,
@@ -285,6 +300,7 @@ BUILDERS: dict[str, Callable[[bool], dict]] = {
     "partition": build_partition,
     "speed": build_speed,
     "views": build_views,
+    "tsbench": build_tsbench,
 }
 
 
@@ -351,6 +367,10 @@ def check_against_baseline(fresh: dict, baseline: dict) -> list[str]:
         from .speed import gate_speed
 
         return gate_speed(fresh, base_payload)
+    if fresh.get("bench") == "tsblocks":
+        from .tsbench import gate_tsblocks
+
+        return gate_tsblocks(fresh, base_payload)
     failures: list[str] = []
     fresh_series = fresh["series"]
     base_series = base_payload["series"]

@@ -121,6 +121,7 @@ def main(argv: list[str] | None = None) -> int:
             "partition",
             "speed",
             "views",
+            "tsbench",
         ],
         help="which figure/ablation to run (or a traced/profiled demo run)",
     )
@@ -169,7 +170,9 @@ def main(argv: list[str] | None = None) -> int:
         print(run_incident_bench(smoke=args.smoke))
         return 0
     baseline_flags = args.json or args.check_baseline or args.write_baseline
-    if args.experiment in ("micro", "elastic", "partition", "speed", "views"):
+    if args.experiment in (
+        "micro", "elastic", "partition", "speed", "views", "tsbench"
+    ):
         if not (baseline_flags or args.smoke):
             print(
                 json.dumps(

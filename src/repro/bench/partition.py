@@ -255,6 +255,7 @@ async def _audit_storage(runtime, sensor_ids: list[str]) -> dict[str, int]:
     timestamp inside one window.
     """
     from ..shm.platform import channel_id_for
+    from ..storage.tsblocks import TieredSeries
 
     stored: dict[str, int] = {}
     for sensor_id in sensor_ids:
@@ -263,7 +264,10 @@ async def _audit_storage(runtime, sensor_ids: list[str]) -> dict[str, int]:
             item = await runtime.grain_storage.try_get(
                 f"state/PhysicalSensorChannel/{channel_id}"
             )
-            window = (item.value or {}).get("window", []) if item else []
+            tsdoc = (item.value or {}).get("tsdoc") if item else None
+            window = (
+                TieredSeries.from_document(tsdoc).all_pairs() if tsdoc else []
+            )
             timestamps = [point[0] for point in window]
             _require(
                 len(set(timestamps)) == len(timestamps),

@@ -100,6 +100,7 @@ def build_deployment(
     grain_storage=None,
     placement_fallback: str | None = None,
     dedup_ingest: bool = False,
+    block_size: int | None = None,
 ) -> Deployment:
     """Assemble runtime + database + SHM platform over simulated servers.
 
@@ -142,11 +143,13 @@ def build_deployment(
             instance_type=instance_type.name,
         )
     database = AodbDatabase(runtime)
+    platform_kwargs = {} if block_size is None else {"block_size": block_size}
     platform = ShmPlatform(
         database,
         window_capacity=window_capacity,
         enable_aggregation=enable_aggregation,
         dedup_ingest=dedup_ingest,
+        **platform_kwargs,
     )
     return Deployment(scheduler, runtime, database, platform, rng)
 

@@ -278,6 +278,7 @@ def default_slo_rules(
     max_error_rate: float = 1.0,
     max_cpu_imbalance: float = 3.0,
     max_view_staleness: float = 1.0,
+    max_head_bytes: float = 256e6,
 ) -> list[SloRule]:
     """The stock rule set an SHM-platform operator would start from.
 
@@ -372,6 +373,23 @@ def default_slo_rules(
             description=(
                 "materialized views are falling behind the ingest stream "
                 "(unfolded deltas older than the staleness bound)"
+            ),
+        ),
+        SloRule(
+            name="tsblocks-head-memory",
+            # Raw (uncompressed) points across all hot heads.  Sustained
+            # growth past the budget means sensors are not sealing blocks —
+            # block_size misconfigured (0 = tiering off) or capacities were
+            # raised without raising the budget — and per-sensor history is
+            # back to costing raw-Python memory.
+            metric="storage.head_bytes",
+            op=">",
+            threshold=max_head_bytes,
+            for_seconds=2.0,
+            clear_seconds=2.0,
+            description=(
+                "hot-head memory of the tiered time-series store exceeds "
+                "its budget (points are not being sealed into blocks)"
             ),
         ),
         SloRule(

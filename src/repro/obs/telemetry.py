@@ -174,6 +174,7 @@ class TelemetryAggregator(Actor):
         super().__init__(context)
         self._buckets: dict[str, BucketedAggregates] = {}
         self._bucket_seconds = 5.0
+        self._max_buckets: int | None = None
         self._max_series = 512
         self.series_dropped = 0
         self._alerts: list[dict] = []
@@ -186,8 +187,13 @@ class TelemetryAggregator(Actor):
         bucket_seconds: float = 5.0,
         max_series: int = 512,
         max_alerts: int = 1000,
+        max_buckets: int | None = None,
     ) -> dict:
+        """``max_buckets`` bounds per-metric retention: the oldest bucket
+        is evicted when a new one would exceed the cap (None = unbounded,
+        which on long-lived clusters grows without limit)."""
         self._bucket_seconds = bucket_seconds
+        self._max_buckets = max_buckets
         self._max_series = max_series
         self._max_alerts = max_alerts
         return {
@@ -204,7 +210,9 @@ class TelemetryAggregator(Actor):
                 if len(self._buckets) >= self._max_series:
                     self.series_dropped += 1
                     continue
-                buckets = BucketedAggregates(self._bucket_seconds)
+                buckets = BucketedAggregates(
+                    self._bucket_seconds, max_buckets=self._max_buckets
+                )
                 self._buckets[metric] = buckets
             buckets.observe(DataPoint(timestamp, value))
             merged += 1
@@ -281,6 +289,7 @@ class TelemetryPump:
         include: tuple[str, ...] = TELEMETRY_PREFIXES,
         window_capacity: int = 512,
         bucket_seconds: float = 5.0,
+        max_buckets: int | None = None,
         aggregator_id: str = "cluster",
         monitor: "HealthMonitor | None" = None,
     ) -> None:
@@ -291,6 +300,7 @@ class TelemetryPump:
         self.include = tuple(include)
         self.window_capacity = window_capacity
         self.bucket_seconds = bucket_seconds
+        self.max_buckets = max_buckets
         self.aggregator_id = aggregator_id
         self.monitor = monitor
         self.ticks = 0
@@ -347,7 +357,7 @@ class TelemetryPump:
 
     async def _configure_targets(self) -> None:
         await self.runtime.ref("TelemetryAggregator", self.aggregator_id).configure(
-            bucket_seconds=self.bucket_seconds
+            bucket_seconds=self.bucket_seconds, max_buckets=self.max_buckets
         )
         self._configured = True
 

@@ -46,6 +46,7 @@ from ..storage.groupcommit import GroupCommitWriter
 from ..storage.kv import InMemoryKVStore, KeyValueStore
 from ..storage.serde import snapshot
 from ..storage.system_store import SystemStore
+from ..storage.tsblocks import BlockStats
 from ..storage.wal import RedoJournal
 from .activation import Activation
 from .actor import Actor
@@ -223,6 +224,9 @@ class AodbRuntime:
         self._stopped = False
         # Set by AodbDatabase when database features are layered on top.
         self.database: Any = None
+        # Cluster-wide tiered time-series counters: every TieredSeries the
+        # actors open feeds these, exported as storage.* probes below.
+        self.tsblock_stats = BlockStats()
         self.network.register(CLIENT_ENDPOINT)
         self.network.register_metrics(self.metrics)
         # Provisioned stores export RCU/WCU/throttling probes; the plain
@@ -353,6 +357,7 @@ class AodbRuntime:
             "cluster.membership_epoch", lambda: self.system_store.epoch
         )
         registry.register_probe("cluster.cpu_imbalance", self.cpu_imbalance)
+        self.tsblock_stats.register_metrics(registry)
 
     def cpu_imbalance(self) -> float:
         """Max/min silo CPU utilization ratio (1.0 = perfectly balanced).

@@ -63,7 +63,8 @@ class Aggregator(Actor):
     async def on_activate(self):
         level = self.state.get("level", "hour")
         bucket_seconds = self.state.get("bucket_seconds", LEVEL_SECONDS[level])
-        self.buckets = BucketedAggregates(bucket_seconds)
+        max_buckets = self.state.get("max_buckets")
+        self.buckets = BucketedAggregates(bucket_seconds, max_buckets=max_buckets)
         for bucket_str, payload in self.state.get("buckets", {}).items():
             self.buckets.merge_bucket(int(bucket_str), _stats_from_dict(payload))
         self._pending = BucketedAggregates(bucket_seconds)
@@ -89,16 +90,24 @@ class Aggregator(Actor):
         level: str = "hour",
         downstream_id: str | None = None,
         bucket_seconds: float | None = None,
+        max_buckets: int | None = None,
     ) -> dict:
-        """Provision: which channel, what bucket size, where rollups go."""
+        """Provision: which channel, what bucket size, where rollups go.
+
+        ``max_buckets`` bounds retention — the oldest bucket is evicted
+        when a new one would exceed the cap (None keeps everything).
+        """
         if level not in LEVEL_SECONDS and bucket_seconds is None:
             raise ValueError(f"unknown level {level!r} and no bucket_seconds")
         self.state["channel_id"] = channel_id
         self.state["level"] = level
         self.state["bucket_seconds"] = bucket_seconds or LEVEL_SECONDS[level]
         self.state["downstream_id"] = downstream_id
+        self.state["max_buckets"] = max_buckets
         self.mark_dirty()
-        self.buckets = BucketedAggregates(self.state["bucket_seconds"])
+        self.buckets = BucketedAggregates(
+            self.state["bucket_seconds"], max_buckets=max_buckets
+        )
         self._pending = BucketedAggregates(self.state["bucket_seconds"])
         self._last_open_bucket = None
         return {"aggregator_id": self.actor_id, "level": level}

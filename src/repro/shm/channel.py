@@ -16,11 +16,14 @@ from __future__ import annotations
 
 from ..runtime.actor import Actor, actor_method
 from ..runtime.persistence import WritePolicy
+from ..storage.tsblocks import SealedBlock, TieredSeries
 from .equations import equation_from_description
-from .model import AlertRule, DataPoint, SensorType
-from .timeseries import AccumulatedChange, DataWindow
+from .model import AlertRule, SensorType
+from .timeseries import AccumulatedChange
 
 DEFAULT_WINDOW_CAPACITY = 4096
+# Points per sealed compressed block; 0 disables tiering (raw window).
+DEFAULT_BLOCK_SIZE = 256
 # Cap on how many pending (incomplete) virtual-channel timestamps to keep.
 MAX_PENDING_TIMESTAMPS = 1024
 
@@ -28,10 +31,14 @@ MAX_PENDING_TIMESTAMPS = 1024
 class _ChannelBase(Actor):
     """Shared storage/query machinery of physical and virtual channels.
 
-    The live window is a plain in-memory structure (this is the in-memory
-    AODB cache); it is serialized into ``self.state`` only on deactivation,
-    which reproduces the paper's benchmark durability configuration ("upload
-    ... only ... when the Orleans silo service is shut down").
+    The live window is a :class:`~repro.storage.tsblocks.TieredSeries`:
+    the newest points stay raw (the mutable hot head), older runs are
+    sealed into immutable compressed blocks with per-block summaries.  It
+    is serialized into ``self.state`` only on deactivation, which
+    reproduces the paper's benchmark durability configuration ("upload
+    ... only ... when the Orleans silo service is shut down") — and since
+    sealed blocks serialize as-is (bytes + scalars), a migrated channel
+    re-opens its blocks on the new silo without recompression.
     """
 
     durable = True
@@ -40,20 +47,40 @@ class _ChannelBase(Actor):
 
     def __init__(self, context):
         super().__init__(context)
-        self.window = DataWindow(DEFAULT_WINDOW_CAPACITY)
+        self.window = self._new_window(
+            DEFAULT_WINDOW_CAPACITY, DEFAULT_BLOCK_SIZE
+        )
         self.change = AccumulatedChange()
         # High-water mark of stored timestamps, used by the optional
         # duplicate filter; restored from the persisted window on activate.
         self._last_ts = float("-inf")
 
+    def _new_window(self, capacity: int, block_size: int) -> TieredSeries:
+        return TieredSeries(
+            capacity,
+            block_size,
+            stats=getattr(self.context.runtime, "tsblock_stats", None),
+        )
+
     async def on_activate(self):
         window_capacity = self.state.get("window_capacity", DEFAULT_WINDOW_CAPACITY)
-        self.window = DataWindow(window_capacity)
-        for timestamp, value in self.state.get("window", ()):
-            self.window.append(DataPoint(timestamp, value))
+        block_size = self.state.get("block_size", DEFAULT_BLOCK_SIZE)
+        self.window.detach_stats()
+        tsdoc = self.state.get("tsdoc")
+        if tsdoc is not None:
+            self.window = TieredSeries.from_document(
+                tsdoc,
+                stats=getattr(self.context.runtime, "tsblock_stats", None),
+            )
+        else:
+            # Legacy raw-pair snapshot (pre-tsblocks state documents).
+            self.window = self._new_window(window_capacity, block_size)
+            pairs = [tuple(p) for p in self.state.get("window", ())]
+            if pairs:
+                self.window.append_many(pairs)
         latest = self.window.latest()
         if latest is not None:
-            self._last_ts = latest.timestamp
+            self._last_ts = latest[0]
         change = self.state.get("change")
         if change:
             self.change.first_value = change["first"]
@@ -66,21 +93,29 @@ class _ChannelBase(Actor):
 
         Shared by deactivation, the redo-journal pump, and the quarantine
         scram flush (see :meth:`repro.runtime.actor.Actor.snapshot_state`).
+        Blocks go in compressed — the document holds the same bytes the
+        window does, so a flush costs no recompression.
         """
-        self.state["window"] = [p.as_tuple() for p in self.window.all_points()]
+        self.state["tsdoc"] = self.window.to_document()
+        self.state.pop("window", None)
         self.state["change"] = self.change.snapshot()
         self.mark_dirty()
 
     async def on_deactivate(self):
         self.snapshot_state()
+        # Stop feeding the cluster-wide storage probes: the re-opened
+        # activation (possibly on another silo) re-registers these points.
+        self.window.detach_stats()
 
     def _store_points(self, points: list[tuple[float, float]]) -> int:
-        """Append readings to the window; archive evicted ones."""
+        """Append readings to the window; archive evicted ones.
+
+        Whole evicted blocks are handed to the archive still compressed;
+        only loose boundary points go through the raw append path.
+        """
         if not points:
             return 0
-        evicted = self.window.append_many(
-            [DataPoint(timestamp, value) for timestamp, value in points]
-        )
+        evicted = self.window.append_many(points)
         self.change.observe_pairs(points)
         # append_many validated the batch is time-ordered, so the last
         # timestamp is the batch maximum.
@@ -90,8 +125,11 @@ class _ChannelBase(Actor):
         if evicted:
             archive = getattr(self.context.runtime, "archive", None)
             if archive is not None:
-                for point in evicted:
-                    archive.append(self.actor_id, point.timestamp, point.value)
+                for item in evicted:
+                    if type(item) is SealedBlock:
+                        archive.append_block(self.actor_id, item)
+                    else:
+                        archive.append(self.actor_id, item[0], item[1])
         return len(points)
 
     # -- queries --------------------------------------------------------------
@@ -99,18 +137,26 @@ class _ChannelBase(Actor):
     @actor_method(read_only=True)
     async def latest(self) -> tuple[float, float] | None:
         """The most recent reading as ``(timestamp, value)``."""
-        point = self.window.latest()
-        return point.as_tuple() if point is not None else None
+        return self.window.latest()
 
     @actor_method(read_only=True)
     async def query_range(self, start: float, end: float) -> list[tuple[float, float]]:
         """Raw readings with start <= timestamp < end (the Fig. 8 request)."""
-        return [p.as_tuple() for p in self.window.range(start, end)]
+        return self.window.range(start, end)
 
     @actor_method(read_only=True)
     async def recent(self, count: int) -> list[tuple[float, float]]:
         """The most recent ``count`` readings."""
-        return [p.as_tuple() for p in self.window.tail(count)]
+        return self.window.tail(count)
+
+    @actor_method(read_only=True)
+    async def aggregate_range(self, start: float, end: float) -> dict:
+        """Count/min/max/sum/mean over [start, end).
+
+        Sealed blocks fully inside the range answer from their summaries
+        without decompression.
+        """
+        return self.window.aggregate(start, end)
 
     @actor_method(read_only=True)
     async def accumulated_change(self) -> dict:
@@ -121,6 +167,11 @@ class _ChannelBase(Actor):
     async def depth(self) -> int:
         """Number of points currently buffered."""
         return len(self.window)
+
+    @actor_method(read_only=True)
+    async def storage_stats(self) -> dict:
+        """Live-memory accounting of this channel's tiered window."""
+        return self.window.memory_stats()
 
 
 class PhysicalSensorChannel(_ChannelBase):
@@ -136,6 +187,7 @@ class PhysicalSensorChannel(_ChannelBase):
         subscribers: list[str] | None = None,
         aggregator_id: str | None = None,
         dedup: bool = False,
+        block_size: int = DEFAULT_BLOCK_SIZE,
     ) -> dict:
         """Provision the channel.
 
@@ -153,9 +205,11 @@ class PhysicalSensorChannel(_ChannelBase):
         self.state["subscribers"] = list(subscribers or ())
         self.state["aggregator_id"] = aggregator_id
         self.state["dedup"] = dedup
+        self.state["block_size"] = block_size
         self.state["last_alert_at"] = {}
         self.mark_dirty()
-        self.window = DataWindow(window_capacity)
+        self.window.detach_stats()
+        self.window = self._new_window(window_capacity, block_size)
         return {"channel_id": self.actor_id}
 
     async def add_alert_rule(self, rule: dict) -> None:
@@ -238,6 +292,7 @@ class VirtualSensorChannel(_ChannelBase):
         equation: dict | None = None,
         window_capacity: int = DEFAULT_WINDOW_CAPACITY,
         aggregator_id: str | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
     ) -> dict:
         """Provision: inputs, the equation, and an optional aggregator."""
         if not input_channel_ids:
@@ -249,8 +304,10 @@ class VirtualSensorChannel(_ChannelBase):
         equation_from_description(self.state["equation"])  # validate now
         self.state["window_capacity"] = window_capacity
         self.state["aggregator_id"] = aggregator_id
+        self.state["block_size"] = block_size
         self.mark_dirty()
-        self.window = DataWindow(window_capacity)
+        self.window.detach_stats()
+        self.window = self._new_window(window_capacity, block_size)
         self._pending: dict[float, dict[str, float]] = {}
         return {"channel_id": self.actor_id}
 

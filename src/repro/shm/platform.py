@@ -16,6 +16,7 @@ from ..aodb.database import AodbDatabase
 from ..storage.archive import ArchiveLog
 from .aggregator import Aggregator
 from .channel import (
+    DEFAULT_BLOCK_SIZE,
     DEFAULT_WINDOW_CAPACITY,
     PhysicalSensorChannel,
     VirtualSensorChannel,
@@ -78,10 +79,13 @@ class ShmPlatform:
         enable_aggregation: bool = True,
         archive: ArchiveLog | None = None,
         dedup_ingest: bool = False,
+        block_size: int = DEFAULT_BLOCK_SIZE,
     ) -> None:
         self.db = database
         self.runtime = database.runtime
         self.window_capacity = window_capacity
+        # Points per sealed compressed block in channel windows (0 = raw).
+        self.block_size = block_size
         self.enable_aggregation = enable_aggregation
         # Idempotent ingestion: sensors keep per-channel timestamp
         # watermarks and channels drop non-monotonic readings, so duplicated
@@ -129,6 +133,7 @@ class ShmPlatform:
                 "alert_rules": list(alert_rules or ()),
                 "subscribers": [virtual_id] if virtual_id else [],
                 "dedup": self.dedup_ingest,
+                "block_size": self.block_size,
             }
             if self.enable_aggregation:
                 config["aggregator_id"] = aggregator_id_for(channel_id, "hour")
@@ -140,6 +145,7 @@ class ShmPlatform:
                 "input_channel_ids": channel_ids,
                 "equation": {"kind": "sum"},
                 "window_capacity": self.window_capacity,
+                "block_size": self.block_size,
             }
             if self.enable_aggregation:
                 virtual_config["aggregator_id"] = aggregator_id_for(virtual_id, "hour")
@@ -271,6 +277,23 @@ class ShmPlatform:
         """Statistical aggregate series for plots (functional requirement 6)."""
         aggregator_id = aggregator_id_for(channel_id, level)
         return await self.runtime.ref("Aggregator", aggregator_id).series(start, end)
+
+    async def range_aggregate(
+        self, channel_id: str, start: float, end: float, virtual: bool = False
+    ) -> dict:
+        """Count/min/max/sum/mean over a channel time range.
+
+        Served by the channel's tiered window: sealed blocks fully inside
+        the range answer from their summaries without decompression.
+        """
+        type_name = "VirtualSensorChannel" if virtual else "PhysicalSensorChannel"
+        return await self.runtime.ref(type_name, channel_id).aggregate_range(
+            start, end
+        )
+
+    async def storage_stats(self, sensor_id: str) -> dict:
+        """Live-memory accounting across one sensor's channel windows."""
+        return await self.runtime.ref("Sensor", sensor_id).storage_stats()
 
     async def accumulated_change(self, channel_id: str, virtual: bool = False) -> dict:
         """Accumulated movement of one stream (functional requirement 4)."""

@@ -162,6 +162,39 @@ class Sensor(Actor):
             "vmax": stats[3],
         }
 
+    @actor_method(read_only=True)
+    async def storage_stats(self) -> dict:
+        """Summed tiered-window memory accounting over all channels."""
+        channel_ids = list(self.state.get("channel_ids", ()))
+        futures = [
+            self.context.actor("PhysicalSensorChannel", channel_id).ask(
+                "storage_stats"
+            )
+            for channel_id in channel_ids
+        ]
+        virtual_id = self.state.get("virtual_channel_id")
+        if virtual_id:
+            futures.append(
+                self.context.actor("VirtualSensorChannel", virtual_id).ask(
+                    "storage_stats"
+                )
+            )
+        per_channel = await self.context.runtime.scheduler.gather(futures)
+        total = {
+            "points": 0, "head_points": 0, "sealed_points": 0, "blocks": 0,
+            "block_bytes": 0, "live_bytes": 0, "raw_equivalent_bytes": 0,
+        }
+        for stats in per_channel:
+            for key in total:
+                total[key] += stats[key]
+        total["channels"] = len(per_channel)
+        total["compression_ratio"] = (
+            (16.0 * total["sealed_points"]) / total["block_bytes"]
+            if total["block_bytes"]
+            else 0.0
+        )
+        return total
+
     async def relocate(self, position: tuple[float, float]) -> tuple:
         """Move the sensor (sensors are relocatable active entities)."""
         self.state["position"] = position

@@ -262,35 +262,63 @@ class AggregateStats:
 
 
 class BucketedAggregates:
-    """Per-time-bucket aggregate stats (e.g. hourly or daily)."""
+    """Per-time-bucket aggregate stats (e.g. hourly or daily).
 
-    def __init__(self, bucket_seconds: float) -> None:
+    ``max_buckets`` bounds retention: when a new bucket would exceed the
+    cap, the oldest populated bucket is evicted (``evicted_buckets``
+    counts them).  ``None`` retains everything — the pre-cap behaviour,
+    which on long runs grows without bound.
+
+    Bucket indexes are kept in an always-sorted list, so :meth:`series`
+    binary-searches to exactly the requested range — O(log n + k) per
+    dashboard read — instead of scanning every populated bucket.
+    """
+
+    def __init__(
+        self, bucket_seconds: float, max_buckets: int | None = None
+    ) -> None:
         if bucket_seconds <= 0:
             raise ValueError("bucket size must be positive")
+        if max_buckets is not None and max_buckets < 1:
+            raise ValueError("max_buckets must be >= 1 (or None)")
         self.bucket_seconds = bucket_seconds
+        self.max_buckets = max_buckets
+        self.evicted_buckets = 0
         self._buckets: dict[int, AggregateStats] = {}
+        self._order: list[int] = []  # populated bucket indexes, sorted
 
     def bucket_of(self, timestamp: float) -> int:
         """The bucket index a timestamp falls into."""
         return int(timestamp // self.bucket_seconds)
 
-    def observe(self, point: DataPoint) -> int:
-        """Feed one point; returns the bucket index it landed in."""
-        bucket = self.bucket_of(point.timestamp)
+    def _ensure(self, bucket: int) -> AggregateStats:
         stats = self._buckets.get(bucket)
         if stats is None:
             stats = AggregateStats()
             self._buckets[bucket] = stats
-        stats.observe(point.value)
+            if not self._order or bucket > self._order[-1]:
+                self._order.append(bucket)
+            else:
+                bisect.insort(self._order, bucket)
+            if self.max_buckets is not None and len(self._order) > self.max_buckets:
+                oldest = self._order.pop(0)
+                del self._buckets[oldest]
+                self.evicted_buckets += 1
+        return stats
+
+    def observe(self, point: DataPoint) -> int:
+        """Feed one point; returns the bucket index it landed in.
+
+        A point older than the retention horizon (its bucket would be
+        evicted immediately under ``max_buckets``) is dropped.
+        """
+        bucket = self.bucket_of(point.timestamp)
+        self._ensure(bucket).observe(point.value)
         return bucket
 
     def merge_bucket(self, bucket: int, stats: AggregateStats) -> None:
         """Merge a pre-aggregated summary into a bucket (hour → day)."""
-        existing = self._buckets.get(bucket)
-        if existing is None:
-            existing = AggregateStats()
-            self._buckets[bucket] = existing
-        existing.merge(stats)
+        self._ensure(bucket).merge(stats)
 
     def stats_for(self, bucket: int) -> AggregateStats | None:
         """The stats of one bucket, or None."""
@@ -298,18 +326,24 @@ class BucketedAggregates:
 
     def pop_bucket(self, bucket: int) -> AggregateStats | None:
         """Remove and return one bucket's stats (None when absent)."""
-        return self._buckets.pop(bucket, None)
+        stats = self._buckets.pop(bucket, None)
+        if stats is not None:
+            del self._order[bisect.bisect_left(self._order, bucket)]
+        return stats
 
     def buckets(self) -> list[int]:
         """All populated bucket indexes, sorted."""
-        return sorted(self._buckets)
+        return list(self._order)
 
     def series(self, start: float, end: float) -> list[tuple[int, dict]]:
         """(bucket, stats snapshot) pairs overlapping [start, end)."""
+        if end <= start:
+            return []
         first = self.bucket_of(start)
-        last = self.bucket_of(end - 1e-9) if end > start else first - 1
+        last = self.bucket_of(end - 1e-9)
+        lo = bisect.bisect_left(self._order, first)
+        hi = bisect.bisect_right(self._order, last, lo)
         return [
             (bucket, self._buckets[bucket].snapshot())
-            for bucket in self.buckets()
-            if first <= bucket <= last
+            for bucket in self._order[lo:hi]
         ]

@@ -7,11 +7,26 @@ from .dynamo import ProvisionedKVStore
 from .kv import InMemoryKVStore, Item, KeyValueStore
 from .serde import NotSerializableError, ensure_serializable, estimate_size, snapshot
 from .system_store import MembershipEntry, Reminder, SystemStore
+from .tsblocks import (
+    BlockStats,
+    BlockSummary,
+    SealedBlock,
+    TieredSeries,
+    decode_floats,
+    decode_uints,
+    encode_floats,
+    encode_uints,
+    summarize,
+)
 from .wal import RedoJournal, RedoRecord
 
 __all__ = [
     "ArchiveLog",
     "ArchiveRecord",
+    "BlockStats",
+    "BlockSummary",
+    "SealedBlock",
+    "TieredSeries",
     "ChaosKVStore",
     "FencedWriteError",
     "InMemoryKVStore",
@@ -25,7 +40,12 @@ __all__ = [
     "Reminder",
     "SystemStore",
     "ThrottledError",
+    "decode_floats",
+    "decode_uints",
+    "encode_floats",
+    "encode_uints",
     "ensure_serializable",
     "estimate_size",
     "snapshot",
+    "summarize",
 ]

@@ -1,0 +1,33 @@
+"""The database's time-series read helpers over tiered channel actors."""
+
+import pytest
+
+from repro.shm import ShmPlatform, channel_id_for, sensor_id_for
+
+
+@pytest.fixture
+def platform(db):
+    return ShmPlatform(db, window_capacity=256, block_size=16)
+
+
+def test_timeseries_range_and_aggregate(sched, db, platform):
+    async def main():
+        await platform.provision(total_sensors=1)
+        sensor_id = sensor_id_for("org-0", 0)
+        c0 = channel_id_for(sensor_id, 0)
+        points = [(float(i), 10.0 + (i % 3)) for i in range(100)]
+        await platform.ingest(sensor_id, {c0: points})
+        raw = await db.timeseries_range(
+            "PhysicalSensorChannel", c0, 20.0, 30.0
+        )
+        agg = await db.timeseries_aggregate(
+            "PhysicalSensorChannel", c0, 0.0, 100.0
+        )
+        return points, raw, agg
+
+    points, raw, agg = sched.run_until_complete(main())
+    assert raw == points[20:30]
+    assert agg["count"] == 100
+    assert agg["min"] == 10.0
+    assert agg["max"] == 12.0
+    assert agg["sum"] == pytest.approx(sum(v for _, v in points))

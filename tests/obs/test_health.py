@@ -254,6 +254,7 @@ def test_default_rules_are_valid_and_cover_the_objectives():
         "cluster-imbalance",
         "trace-drops",
         "view-staleness",
+        "tsblocks-head-memory",
     }
     # Constructible on an empty registry, and safe to evaluate.
     _registry, monitor = make_monitor(rules)

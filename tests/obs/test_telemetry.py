@@ -131,6 +131,25 @@ def test_silo_monitor_caps_series_cardinality(cluster):
     scheduler.run_until_complete(run())
 
 
+def test_aggregator_bounded_bucket_retention(cluster):
+    scheduler, runtime = cluster
+    TelemetryPump(runtime).install()
+
+    async def run():
+        ref = runtime.ref("TelemetryAggregator", "cluster")
+        await ref.configure(bucket_seconds=5.0, max_buckets=3)
+        # Ten bucket-widths of samples: only the newest three survive.
+        for tick in range(10):
+            await ref.merge(tick * 5.0, {"runtime.asks": float(tick)})
+        series = await ref.series("runtime.asks", 0.0, 100.0)
+        assert [bucket for bucket, _ in series] == [7, 8, 9]
+        assert await ref.stats_at("runtime.asks", 0.0) is None
+        newest = await ref.stats_at("runtime.asks", 45.0)
+        assert newest["count"] == 1
+
+    scheduler.run_until_complete(run())
+
+
 def test_aggregator_buckets_and_alert_log(cluster):
     scheduler, runtime = cluster
     TelemetryPump(runtime).install()

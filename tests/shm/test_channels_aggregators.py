@@ -159,6 +159,24 @@ def test_aggregator_state_survives_deactivation(sched, platform):
     assert series[0][1]["count"] == 10
 
 
+def test_aggregator_max_buckets_bounds_retention(sched, platform):
+    async def main():
+        agg = platform.runtime.ref("Aggregator", "custom/agg")
+        await agg.configure("c", level="hour", max_buckets=2)
+        # Readings across five hours; only the newest two buckets survive.
+        await agg.ingest([(hour * 3600.0 + 1.0, 1.0) for hour in range(5)])
+        series = await agg.series(0.0, 10 * 3600.0)
+        # Bucket cap survives deactivation (it rides the state document).
+        await platform.runtime.deactivate("Aggregator", "custom/agg")
+        await agg.ingest([(6 * 3600.0 + 1.0, 1.0)])
+        after = await agg.series(0.0, 10 * 3600.0)
+        return series, after
+
+    series, after = sched.run_until_complete(main())
+    assert [bucket for bucket, _ in series] == [3, 4]
+    assert [bucket for bucket, _ in after] == [4, 6]
+
+
 def test_aggregator_configure_validation(sched, platform):
     async def main():
         agg = platform.runtime.ref("Aggregator", "custom/agg")

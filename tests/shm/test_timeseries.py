@@ -240,3 +240,70 @@ def test_bucket_merge_rollup():
 def test_bucket_validation():
     with pytest.raises(ValueError):
         BucketedAggregates(bucket_seconds=0)
+    with pytest.raises(ValueError):
+        BucketedAggregates(bucket_seconds=60, max_buckets=0)
+
+
+def test_max_buckets_evicts_oldest():
+    buckets = BucketedAggregates(bucket_seconds=60, max_buckets=3)
+    for ts in [0, 60, 120, 180, 240]:
+        buckets.observe(DataPoint(float(ts), 1.0))
+    assert buckets.buckets() == [2, 3, 4]
+    assert buckets.evicted_buckets == 2
+    assert buckets.stats_for(0) is None
+    assert buckets.series(0, 300) == buckets.series(120, 300)
+
+
+def test_max_buckets_none_retains_everything():
+    buckets = BucketedAggregates(bucket_seconds=60)
+    for ts in range(0, 6000, 60):
+        buckets.observe(DataPoint(float(ts), 1.0))
+    assert len(buckets.buckets()) == 100
+    assert buckets.evicted_buckets == 0
+
+
+def test_point_older_than_horizon_is_dropped():
+    buckets = BucketedAggregates(bucket_seconds=60, max_buckets=2)
+    buckets.observe(DataPoint(300.0, 1.0))
+    buckets.observe(DataPoint(360.0, 1.0))
+    # Bucket 0 is far behind the retention horizon: it self-evicts.
+    buckets.observe(DataPoint(0.0, 1.0))
+    assert buckets.buckets() == [5, 6]
+    assert buckets.evicted_buckets == 1
+
+
+def test_max_buckets_applies_to_merged_rollups():
+    day = BucketedAggregates(bucket_seconds=86400, max_buckets=2)
+    hour_stats = AggregateStats()
+    hour_stats.observe(5.0)
+    for day_index in range(4):
+        day.merge_bucket(day_index, hour_stats)
+    assert day.buckets() == [2, 3]
+    assert day.evicted_buckets == 2
+
+
+def test_series_indexes_bucket_range_directly():
+    """Regression: series() used to scan every populated bucket; it now
+    bisects the sorted index, so a narrow range returns exactly the
+    overlapping buckets even amid thousands of others."""
+    buckets = BucketedAggregates(bucket_seconds=60)
+    for ts in range(0, 60 * 5000, 60):
+        buckets.observe(DataPoint(float(ts), 1.0))
+    series = buckets.series(60.0 * 2000, 60.0 * 2003)
+    assert [bucket for bucket, _ in series] == [2000, 2001, 2002]
+    # Range edges: end is exclusive, but a partial last bucket counts.
+    series = buckets.series(60.0 * 10 + 30.0, 60.0 * 12 + 1.0)
+    assert [bucket for bucket, _ in series] == [10, 11, 12]
+
+
+def test_pop_bucket_keeps_order_index_consistent():
+    buckets = BucketedAggregates(bucket_seconds=60, max_buckets=4)
+    for ts in [0, 60, 120]:
+        buckets.observe(DataPoint(float(ts), 1.0))
+    assert buckets.pop_bucket(1).count == 1
+    assert buckets.pop_bucket(1) is None
+    assert buckets.buckets() == [0, 2]
+    # Eviction after a pop still removes the true oldest.
+    for ts in [180, 240, 300]:
+        buckets.observe(DataPoint(float(ts), 1.0))
+    assert buckets.buckets() == [2, 3, 4, 5]

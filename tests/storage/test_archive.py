@@ -78,3 +78,111 @@ def test_export_missing_stream_is_empty(log):
 
 def test_read_range_missing_stream_is_empty(log):
     assert log.read_range("nothing", 0, 100) == []
+
+
+# -- the block-compressed tier -------------------------------------------------
+
+
+def test_numeric_head_seals_into_blocks():
+    log = ArchiveLog(block_size=8)
+    for ts in range(20):
+        log.append("s", float(ts), ts * 0.5)
+    assert log.blocks_sealed == 2
+    assert log.sealed_records == 16
+    assert log.block_bytes > 0
+    records = log.read_range("s", 0.0, 20.0)
+    assert [r.timestamp for r in records] == [float(t) for t in range(20)]
+    assert [r.payload for r in records] == [t * 0.5 for t in range(20)]
+
+
+def test_sealing_preserves_global_sequences():
+    log = ArchiveLog(block_size=4)
+    expected = []
+    for ts in range(10):
+        stream = "a" if ts % 2 == 0 else "b"
+        expected.append((stream, log.append(stream, float(ts), 1.0).sequence))
+    for stream in ("a", "b"):
+        got = [r.sequence for r in log.read_range(stream, 0.0, 100.0)]
+        assert got == [seq for s, seq in expected if s == stream]
+
+
+def test_append_block_archives_without_decoding():
+    from repro.storage import SealedBlock
+
+    log = ArchiveLog(block_size=64)
+    pairs = [(float(i), i * 0.25) for i in range(32)]
+    count = log.append_block("s", SealedBlock.seal(pairs))
+    assert count == 32
+    assert log.records_decoded == 0  # archived compressed, never decoded
+    assert len(log) == 32
+    records = log.read_range("s", 0.0, 100.0)
+    assert [(r.timestamp, r.payload) for r in records] == pairs
+    sequences = [r.sequence for r in records]
+    assert sequences == list(range(sequences[0], sequences[0] + 32))
+
+
+def test_append_block_seals_pending_head_first():
+    from repro.storage import SealedBlock
+
+    log = ArchiveLog(block_size=64)
+    log.append("s", 1.0, 0.5)
+    log.append("s", 2.0, 0.75)
+    log.append_block("s", SealedBlock.seal([(3.0, 1.0), (4.0, 1.25)]))
+    assert log.blocks_sealed == 1  # the 2-record head was sealed
+    records = log.read_range("s", 0.0, 100.0)
+    assert [r.timestamp for r in records] == [1.0, 2.0, 3.0, 4.0]
+    assert [r.sequence for r in records] == sorted(
+        r.sequence for r in records
+    )
+
+
+def test_append_block_out_of_order_rejected():
+    from repro.storage import SealedBlock
+
+    log = ArchiveLog()
+    log.append("s", 10.0, 1.0)
+    with pytest.raises(ValueError):
+        log.append_block("s", SealedBlock.seal([(5.0, 1.0)]))
+
+
+def test_non_float_payload_keeps_stream_raw():
+    log = ArchiveLog(block_size=4)
+    for ts in range(10):
+        log.append("s", float(ts), {"v": ts})
+    assert log.blocks_sealed == 0
+    assert [r.payload["v"] for r in log.read_range("s", 0.0, 100.0)] == list(
+        range(10)
+    )
+
+
+def test_append_block_unrolls_into_raw_stream():
+    from repro.storage import SealedBlock
+
+    log = ArchiveLog(block_size=1000)
+    log.append("s", 1.0, "event")  # flips the stream to raw-only
+    log.append_block("s", SealedBlock.seal([(2.0, 0.5), (3.0, 0.75)]))
+    records = log.read_range("s", 0.0, 100.0)
+    assert [r.payload for r in records] == ["event", 0.5, 0.75]
+    assert log.blocks_sealed == 0
+
+
+def test_range_reads_skip_non_overlapping_blocks():
+    log = ArchiveLog(block_size=10)
+    for ts in range(100):
+        log.append("s", float(ts), 1.0)
+    log.records_decoded = 0
+    records = log.read_range("s", 42.0, 44.0)
+    assert [r.timestamp for r in records] == [42.0, 43.0]
+    assert log.records_decoded == 10  # exactly one block decoded
+
+
+def test_tail_and_export_cross_tiers():
+    log = ArchiveLog(block_size=8)
+    for ts in range(20):
+        log.append("s", float(ts), float(ts))
+    assert [r.timestamp for r in log.tail("s", 6)] == [
+        14.0, 15.0, 16.0, 17.0, 18.0, 19.0,
+    ]
+    assert log.export("s", transform=lambda r: r.timestamp) == [
+        float(t) for t in range(20)
+    ]
